@@ -1,0 +1,70 @@
+// Command analyze computes the Weber-Gupta invalidation-pattern
+// analysis (the paper's reference [10], its empirical justification for
+// i=4 directory pointers) for a workload or a recorded trace file.
+//
+// Usage:
+//
+//	analyze -app mp3d -procs 16            # record then analyze
+//	analyze -trace ref.trace               # analyze a recorded trace
+//	analyze -app lu -blocks 8,16,32,64     # block-size sensitivity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dircc"
+	"dircc/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "floyd", "workload to record and analyze")
+	procs := flag.Int("procs", 16, "processors (recording mode)")
+	full := flag.Bool("full", false, "paper-scale workload parameters")
+	traceFile := flag.String("trace", "", "analyze this trace file instead of recording")
+	blocks := flag.String("blocks", "8", "comma-separated block sizes in bytes")
+	flag.Parse()
+
+	var tr *dircc.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		var terr error
+		tr, terr = trace.ReadFrom(f)
+		f.Close()
+		if terr != nil {
+			fail(terr)
+		}
+		fmt.Printf("trace %s: %d processors, %d events\n\n", *traceFile, tr.Procs, tr.Events())
+	} else {
+		var err error
+		tr, _, err = dircc.RecordTrace(dircc.Experiment{
+			App: *app, Protocol: "fm", Procs: *procs, Full: *full,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("workload %s on %d processors: %d events recorded\n\n", *app, *procs, tr.Events())
+	}
+
+	for _, bs := range strings.Split(*blocks, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(bs))
+		if err != nil || b < 1 {
+			fail(fmt.Errorf("bad block size %q", bs))
+		}
+		p := trace.Analyze(tr, b)
+		fmt.Printf("invalidation pattern at %d-byte blocks:\n%s\n", b, p.String())
+		fmt.Printf("  => %.1f%% of writes invalidate <= 4 copies (the paper's i=4 rationale)\n\n",
+			100*p.Fraction(4))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command coherencesim runs one workload under one coherence protocol
+// and prints the full statistics of the run.
+//
+// Usage:
+//
+//	coherencesim -app floyd -protocol Dir4Tree2 -procs 32 [-full] [-check]
+//
+// Protocols: fm, L<i>/Dir<i>NB, B<i>/Dir<i>B, T<i>/Dir<i>Tree2,
+// Dir<i>Tree<k>, sll, sci, stp. Workloads: mp3d, lu, floyd, fft.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dircc"
+	"dircc/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "floyd", "workload: mp3d, lu, floyd, fft")
+	protocol := flag.String("protocol", "Dir4Tree2", "coherence scheme (fm, L4, B4, LL4, T4, Dir4Tree2, sll, sci, stp)")
+	procs := flag.Int("procs", 16, "number of processors")
+	full := flag.Bool("full", false, "use the paper-scale workload parameters")
+	check := flag.Bool("check", false, "enable the coherence monitor")
+	record := flag.String("record", "", "record the reference trace to this file")
+	replay := flag.String("replay", "", "replay a recorded trace instead of running -app")
+	flag.Parse()
+
+	var r *dircc.Result
+	var err error
+	switch {
+	case *replay != "":
+		f, ferr := os.Open(*replay)
+		if ferr != nil {
+			fail(ferr)
+		}
+		tr, terr := trace.ReadFrom(f)
+		f.Close()
+		if terr != nil {
+			fail(terr)
+		}
+		r, err = dircc.ReplayTrace(tr, *protocol)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace %s (%d processors, %d events) replayed under %s\n\n",
+			*replay, tr.Procs, tr.Events(), *protocol)
+	case *record != "":
+		exp := dircc.Experiment{App: *app, Protocol: *protocol, Procs: *procs, Full: *full, Check: *check}
+		var tr *dircc.Trace
+		tr, r, err = dircc.RecordTrace(exp)
+		if err != nil {
+			fail(err)
+		}
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if _, werr := tr.WriteTo(f); werr != nil {
+			fail(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fail(cerr)
+		}
+		fmt.Printf("workload %s recorded to %s (%d events)\n\n", *app, *record, tr.Events())
+	default:
+		r, err = dircc.RunExperiment(dircc.Experiment{
+			App: *app, Protocol: *protocol, Procs: *procs, Full: *full, Check: *check,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("workload %s, protocol %s, %d processors (full=%v)\n",
+			r.Experiment.App, r.Experiment.Protocol, r.Experiment.Procs, r.Experiment.Full)
+		fmt.Printf("result check: passed (parallel output matches the serial reference)\n\n")
+	}
+	fmt.Print(r.Counters.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "coherencesim:", err)
+	os.Exit(1)
+}

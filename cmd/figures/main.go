@@ -1,0 +1,94 @@
+// Command figures regenerates the paper's Figures 8-11: normalized
+// execution time (relative to the full-map scheme) of each workload
+// under fm, L8, L4, L2, L1, T8, T4, T2 and T1 on 8, 16 and 32
+// processors.
+//
+// Usage:
+//
+//	figures              # all four figures, scaled-down workloads
+//	figures -fig 10      # only Figure 10 (Floyd-Warshall)
+//	figures -full        # paper-scale workload parameters
+//	figures -procs 8,16  # restrict the machine sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dircc"
+	"dircc/internal/stats"
+)
+
+var figApps = map[int]string{8: "mp3d", 9: "lu", 10: "floyd", 11: "fft"}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (8=mp3d, 9=lu, 10=floyd, 11=fft); 0 = all")
+	plot := flag.Bool("plot", false, "render ASCII bar charts (baseline marked at 1.0)")
+	full := flag.Bool("full", false, "use the paper-scale workload parameters")
+	procsFlag := flag.String("procs", "8,16,32", "comma-separated machine sizes")
+	schemesFlag := flag.String("schemes", strings.Join(dircc.PaperSchemes(), ","), "comma-separated schemes")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "figures: bad -procs entry %q\n", s)
+			os.Exit(1)
+		}
+		sizes = append(sizes, v)
+	}
+	schemes := strings.Split(*schemesFlag, ",")
+	for i := range schemes {
+		schemes[i] = strings.TrimSpace(schemes[i])
+	}
+
+	figs := []int{8, 9, 10, 11}
+	if *fig != 0 {
+		if _, ok := figApps[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %d (8..11)\n", *fig)
+			os.Exit(1)
+		}
+		figs = []int{*fig}
+	}
+
+	for _, f := range figs {
+		app := figApps[f]
+		fmt.Printf("Figure %d: normalized execution time for %s (fm = 1.00)\n", f, app)
+		if !*plot {
+			header := fmt.Sprintf("%-8s", "procs")
+			for _, s := range schemes {
+				header += fmt.Sprintf("%8s", s)
+			}
+			fmt.Println(header)
+		}
+		for _, n := range sizes {
+			norm, err := dircc.NormalizedTimes(app, n, schemes, *full)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s on %d procs: %v\n", app, n, err)
+				os.Exit(1)
+			}
+			if *plot {
+				chart := &stats.BarChart{
+					Title: fmt.Sprintf("%s, %d processors (│ = full-map baseline)", app, n),
+					Width: 48,
+					Ref:   1.0,
+				}
+				for _, s := range schemes {
+					chart.Add(s, norm[s])
+				}
+				fmt.Println(chart.String())
+				continue
+			}
+			row := fmt.Sprintf("%-8d", n)
+			for _, s := range schemes {
+				row += fmt.Sprintf("%8.3f", norm[s])
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,96 @@
+// Command sweep runs a grid of experiments and emits one CSV row per
+// run, for spreadsheet analysis or plotting.
+//
+// Usage:
+//
+//	sweep                                        # default grid
+//	sweep -apps floyd,fft -schemes fm,T4 -procs 8,32 -full
+//	sweep -topologies hypercube,torus,bus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dircc"
+)
+
+func main() {
+	apps := flag.String("apps", "mp3d,lu,floyd,fft", "comma-separated workloads")
+	schemes := flag.String("schemes", strings.Join(dircc.PaperSchemes(), ","), "comma-separated schemes")
+	procsFlag := flag.String("procs", "8,16,32", "comma-separated machine sizes")
+	topologies := flag.String("topologies", "hypercube", "comma-separated interconnects")
+	full := flag.Bool("full", false, "paper-scale workload parameters")
+	check := flag.Bool("check", false, "enable the coherence monitor")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "sweep: bad -procs entry %q\n", s)
+			os.Exit(1)
+		}
+		sizes = append(sizes, v)
+	}
+
+	fmt.Println("app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
+		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles")
+	for _, app := range split(*apps) {
+		for _, topo := range split(*topologies) {
+			for _, procs := range sizes {
+				var baseline uint64
+				for _, scheme := range append([]string{"fm"}, without(split(*schemes), "fm")...) {
+					r, err := dircc.RunExperiment(dircc.Experiment{
+						App: app, Protocol: scheme, Procs: procs,
+						Full: *full, Check: *check, Topology: topo,
+					})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "sweep: %s/%s/%d/%s: %v\n", app, scheme, procs, topo, err)
+						os.Exit(1)
+					}
+					if scheme == "fm" {
+						baseline = r.Cycles
+					}
+					norm := float64(r.Cycles) / float64(baseline)
+					c := r.Counters
+					fmt.Printf("%s,%s,%d,%s,%d,%.4f,%d,%d,%d,%d,%.5f,%d,%d,%d,%d,%.1f,%.1f\n",
+						app, scheme, procs, orDefault(topo, "hypercube"), r.Cycles, norm,
+						c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
+						c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
+						c.AvgReadMissLatency(), c.AvgWriteMissLatency())
+				}
+			}
+		}
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func without(ss []string, drop string) []string {
+	var out []string
+	for _, s := range ss {
+		if s != drop {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+// custom-app shows how to write your own shared-memory kernel against
+// the public Env API: a parallel 1-D Jacobi heat diffusion with halo
+// exchange through the coherence protocol, verified against a serial
+// reference at the end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dircc"
+)
+
+const (
+	cells = 256
+	iters = 40
+	fp    = 1 << 16 // 16.16 fixed point keeps the run bit-deterministic
+)
+
+func main() {
+	eng, err := dircc.NewEngine("T4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dircc.DefaultConfig(8)
+	m, err := dircc.NewMachine(cfg, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two shared grids, ping-pong between iterations.
+	grid := [2]uint64{m.Alloc(cells * 8), m.Alloc(cells * 8)}
+	at := func(g, i int) uint64 { return grid[g] + uint64(i)*8 }
+
+	cycles, err := dircc.RunBody(m, func(e dircc.Env) {
+		id, np := e.ID(), e.NProcs()
+		lo := id * cells / np
+		hi := (id + 1) * cells / np
+		// Initial condition: a hot spike in the middle.
+		for i := lo; i < hi; i++ {
+			v := uint64(0)
+			if i == cells/2 {
+				v = 1000 * fp
+			}
+			e.Write(at(0, i), v)
+		}
+		e.Barrier()
+		for it := 0; it < iters; it++ {
+			src, dst := it%2, 1-it%2
+			for i := lo; i < hi; i++ {
+				left, right := uint64(0), uint64(0)
+				if i > 0 {
+					left = e.Read(at(src, i-1)) // halo read: neighbor's cell
+				}
+				if i < cells-1 {
+					right = e.Read(at(src, i+1))
+				}
+				center := e.Read(at(src, i))
+				e.Compute(3)
+				e.Write(at(dst, i), (left+right+2*center)/4)
+			}
+			e.Barrier()
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serial reference with identical arithmetic.
+	ref := make([]uint64, cells)
+	tmp := make([]uint64, cells)
+	ref[cells/2] = 1000 * fp
+	for it := 0; it < iters; it++ {
+		for i := 0; i < cells; i++ {
+			var left, right uint64
+			if i > 0 {
+				left = ref[i-1]
+			}
+			if i < cells-1 {
+				right = ref[i+1]
+			}
+			tmp[i] = (left + right + 2*ref[i]) / 4
+		}
+		ref, tmp = tmp, ref
+	}
+
+	// Compare the final grid (read back through one processor).
+	final := (iters) % 2
+	bad := 0
+	for i := 0; i < cells; i++ {
+		got := m.Store.Value(m.BlockOf(at(final, i)))
+		if got != ref[i] {
+			bad++
+		}
+	}
+	if bad != 0 {
+		log.Fatalf("%d cells diverged from the serial reference", bad)
+	}
+	fmt.Printf("jacobi: %d cells x %d iterations on 8 processors, %d cycles — matches serial reference\n",
+		cells, iters, cycles)
+	fmt.Printf("traffic: %d messages, %d invalidations, miss ratio %.4f\n",
+		m.Ctr.Messages, m.Ctr.Invalidations, m.Ctr.MissRatio())
+}

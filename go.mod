@@ -1,0 +1,3 @@
+module dircc
+
+go 1.22

@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+)
+
+// FFT is a one-dimensional radix-2 decimation-in-time fast Fourier
+// transform over a shared complex array, the fourth workload of the
+// paper's evaluation.
+//
+// Butterflies are partitioned cyclically; in early stages a processor's
+// butterflies touch neighboring elements (mostly local after the first
+// fill), while later stages stride across the array and exchange data
+// written by other processors — the classic FFT communication pattern
+// whose producer/consumer pairs change every stage.
+type FFT struct {
+	// Points is the transform size, a power of two (default 1024).
+	Points int
+	// Seed makes the input signal reproducible.
+	Seed int64
+}
+
+// DefaultFFT returns the evaluation's FFT configuration.
+func DefaultFFT() *FFT { return &FFT{Points: 1024, Seed: 4} }
+
+// Name implements App.
+func (a *FFT) Name() string { return "fft" }
+
+// Prepare implements App.
+func (a *FFT) Prepare(m *coherent.Machine) (proc.Body, func() error) {
+	n := a.Points
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("apps: FFT size %d must be a power of two >= 2", n))
+	}
+	re := AllocArray(m, n)
+	im := AllocArray(m, n)
+
+	rng := rand.New(rand.NewSource(a.Seed))
+	inRe := make([]float64, n)
+	inIm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		inRe[i] = rng.Float64()*2 - 1
+		inIm[i] = rng.Float64()*2 - 1
+	}
+
+	body := func(e proc.Env) {
+		id, np := e.ID(), e.NProcs()
+		// Bit-reversed load of the input signal, cyclic ownership of
+		// destination indices.
+		bits := log2(n)
+		for i := id; i < n; i += np {
+			src := reverseBits(i, bits)
+			re.SetF(e, i, inRe[src])
+			im.SetF(e, i, inIm[src])
+		}
+		e.Barrier()
+
+		for size := 2; size <= n; size <<= 1 {
+			half := size / 2
+			nb := n / size // butterfly groups this stage
+			// Butterfly (g, j): indices g*size + j and g*size + j + half.
+			total := nb * half
+			for t := id; t < total; t += np {
+				g, j := t/half, t%half
+				lo := g*size + j
+				hi := lo + half
+				wRe, wIm := twiddle(j, size)
+				e.Compute(6) // complex multiply-add
+				xRe := re.GetF(e, hi)
+				xIm := im.GetF(e, hi)
+				tRe := xRe*wRe - xIm*wIm
+				tIm := xRe*wIm + xIm*wRe
+				uRe := re.GetF(e, lo)
+				uIm := im.GetF(e, lo)
+				re.SetF(e, lo, uRe+tRe)
+				im.SetF(e, lo, uIm+tIm)
+				re.SetF(e, hi, uRe-tRe)
+				im.SetF(e, hi, uIm-tIm)
+			}
+			e.Barrier()
+		}
+	}
+
+	check := func() error {
+		refRe, refIm := serialFFT(inRe, inIm)
+		for i := 0; i < n; i++ {
+			gr := re.FinalF(m, i)
+			gi := im.FinalF(m, i)
+			if !approxEqual(gr, refRe[i], 1e-9) || !approxEqual(gi, refIm[i], 1e-9) {
+				return fmt.Errorf("fft: bin %d = (%g,%g), want (%g,%g)", i, gr, gi, refRe[i], refIm[i])
+			}
+		}
+		return nil
+	}
+	return body, check
+}
+
+func log2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+func reverseBits(x, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = r<<1 | (x>>b)&1
+	}
+	return r
+}
+
+func twiddle(j, size int) (float64, float64) {
+	ang := -2 * math.Pi * float64(j) / float64(size)
+	return math.Cos(ang), math.Sin(ang)
+}
+
+// serialFFT runs the identical iterative radix-2 algorithm serially.
+func serialFFT(inRe, inIm []float64) ([]float64, []float64) {
+	n := len(inRe)
+	bits := log2(n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; i < n; i++ {
+		src := reverseBits(i, bits)
+		re[i], im[i] = inRe[src], inIm[src]
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		for g := 0; g < n/size; g++ {
+			for j := 0; j < half; j++ {
+				lo := g*size + j
+				hi := lo + half
+				wRe, wIm := twiddle(j, size)
+				tRe := re[hi]*wRe - im[hi]*wIm
+				tIm := re[hi]*wIm + im[hi]*wRe
+				re[lo], re[hi] = re[lo]+tRe, re[lo]-tRe
+				im[lo], im[hi] = im[lo]+tIm, im[lo]-tIm
+			}
+		}
+	}
+	return re, im
+}

@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+)
+
+// Floyd is the Floyd-Warshall all-pairs-shortest-paths program the
+// paper evaluates on a 32-vertex random graph.
+//
+// The distance matrix is row-partitioned; iteration k requires every
+// processor to read row k of the shared matrix (and column entries
+// dist[i][k] it owns), so the entire matrix is read-shared each
+// iteration — the paper's high-degree-of-sharing stressor. A
+// predecessor matrix records the computed paths as in the paper's
+// description.
+type Floyd struct {
+	// V is the vertex count (paper: 32).
+	V int
+	// EdgeProb is the probability an ordered pair has a direct edge.
+	EdgeProb float64
+	// Seed makes the random graph reproducible.
+	Seed int64
+}
+
+// DefaultFloyd returns the paper's Floyd-Warshall configuration.
+func DefaultFloyd() *Floyd { return &Floyd{V: 32, EdgeProb: 0.25, Seed: 3} }
+
+// Name implements App.
+func (a *Floyd) Name() string { return "floyd" }
+
+const floydInf = int64(1) << 40
+
+// Prepare implements App.
+func (a *Floyd) Prepare(m *coherent.Machine) (proc.Body, func() error) {
+	if a.V < 1 || a.EdgeProb < 0 || a.EdgeProb > 1 {
+		panic(fmt.Sprintf("apps: bad Floyd config %+v", a))
+	}
+	v := a.V
+	dist := AllocArray(m, v*v)
+	pred := AllocArray(m, v*v)
+	idx := func(i, j int) int { return i*v + j }
+
+	rng := rand.New(rand.NewSource(a.Seed))
+	input := make([]int64, v*v)
+	for i := 0; i < v; i++ {
+		for j := 0; j < v; j++ {
+			switch {
+			case i == j:
+				input[idx(i, j)] = 0
+			case rng.Float64() < a.EdgeProb:
+				input[idx(i, j)] = int64(1 + rng.Intn(100))
+			default:
+				input[idx(i, j)] = floydInf
+			}
+		}
+	}
+
+	body := func(e proc.Env) {
+		id, np := e.ID(), e.NProcs()
+		lo, hi := chunk(v, np, id)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < v; j++ {
+				dist.Set(e, idx(i, j), uint64(input[idx(i, j)]))
+				p := int64(-1)
+				if input[idx(i, j)] < floydInf && i != j {
+					p = int64(i)
+				}
+				pred.Set(e, idx(i, j), uint64(p))
+			}
+		}
+		e.Barrier()
+
+		for k := 0; k < v; k++ {
+			for i := lo; i < hi; i++ {
+				dik := int64(dist.Get(e, idx(i, k)))
+				if dik >= floydInf {
+					continue
+				}
+				for j := 0; j < v; j++ {
+					dkj := int64(dist.Get(e, idx(k, j)))
+					e.Compute(2)
+					if dkj >= floydInf {
+						continue
+					}
+					dij := int64(dist.Get(e, idx(i, j)))
+					if dik+dkj < dij {
+						dist.Set(e, idx(i, j), uint64(dik+dkj))
+						pred.Set(e, idx(i, j), pred.Get(e, idx(k, j)))
+					}
+				}
+			}
+			e.Barrier()
+		}
+	}
+
+	check := func() error {
+		ref := make([]int64, v*v)
+		copy(ref, input)
+		for k := 0; k < v; k++ {
+			for i := 0; i < v; i++ {
+				if ref[idx(i, k)] >= floydInf {
+					continue
+				}
+				for j := 0; j < v; j++ {
+					if ref[idx(k, j)] >= floydInf {
+						continue
+					}
+					if d := ref[idx(i, k)] + ref[idx(k, j)]; d < ref[idx(i, j)] {
+						ref[idx(i, j)] = d
+					}
+				}
+			}
+		}
+		for i := 0; i < v; i++ {
+			for j := 0; j < v; j++ {
+				if got := int64(dist.Final(m, idx(i, j))); got != ref[idx(i, j)] {
+					return fmt.Errorf("floyd: dist(%d,%d) = %d, want %d", i, j, got, ref[idx(i, j)])
+				}
+			}
+		}
+		// Predecessor matrix must describe real shortest paths: walking
+		// back from j must reach i with the recorded distance.
+		for i := 0; i < v; i++ {
+			for j := 0; j < v; j++ {
+				if i == j || ref[idx(i, j)] >= floydInf {
+					continue
+				}
+				cur := j
+				hops := 0
+				for cur != i {
+					p := int64(pred.Final(m, idx(i, cur)))
+					if p < 0 || p >= int64(v) {
+						return fmt.Errorf("floyd: broken predecessor chain at (%d,%d)", i, j)
+					}
+					cur = int(p)
+					if hops++; hops > v {
+						return fmt.Errorf("floyd: predecessor cycle at (%d,%d)", i, j)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return body, check
+}

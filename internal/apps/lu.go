@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+)
+
+// LU is dense LU factorization without pivoting, modeled on the SPLASH
+// LU kernel the paper evaluates on a 128x128 matrix.
+//
+// Rows are distributed cyclically across processors (the SPLASH
+// decomposition). At elimination step k the owner of row k normalizes
+// the pivot row; every processor then reads that row (broadcast-style
+// read sharing) and updates its own rows below k (private writes). The
+// pivot-row fan-out is what differentiates the directory schemes.
+type LU struct {
+	// N is the matrix dimension (paper: 128).
+	N int
+	// Seed makes the input matrix reproducible.
+	Seed int64
+}
+
+// DefaultLU returns the paper's LU configuration.
+func DefaultLU() *LU { return &LU{N: 128, Seed: 2} }
+
+// Name implements App.
+func (a *LU) Name() string { return "lu" }
+
+// Prepare implements App.
+func (a *LU) Prepare(m *coherent.Machine) (proc.Body, func() error) {
+	if a.N < 1 {
+		panic(fmt.Sprintf("apps: bad LU config %+v", a))
+	}
+	n := a.N
+	mat := AllocArray(m, n*n)
+	idx := func(i, j int) int { return i*n + j }
+
+	// Diagonally dominant input so elimination without pivoting is
+	// numerically stable.
+	rng := rand.New(rand.NewSource(a.Seed))
+	input := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			input[idx(i, j)] = rng.Float64()
+			if i == j {
+				input[idx(i, j)] += float64(n)
+			}
+		}
+	}
+
+	body := func(e proc.Env) {
+		id, np := e.ID(), e.NProcs()
+		// Initialize owned rows (cyclic distribution).
+		for i := id; i < n; i += np {
+			for j := 0; j < n; j++ {
+				mat.SetF(e, idx(i, j), input[idx(i, j)])
+			}
+		}
+		e.Barrier()
+
+		for k := 0; k < n; k++ {
+			if k%np == id {
+				// Normalize the pivot row's subdiagonal multipliers...
+				// (stored in column k below the diagonal) is done by
+				// each row owner; the pivot row itself is read-only
+				// after this step.
+				_ = mat.GetF(e, idx(k, k))
+			}
+			e.Barrier()
+			pivot := mat.GetF(e, idx(k, k))
+			for i := k + 1; i < n; i++ {
+				if i%np != id {
+					continue
+				}
+				lik := mat.GetF(e, idx(i, k)) / pivot
+				e.Compute(2)
+				mat.SetF(e, idx(i, k), lik)
+				for j := k + 1; j < n; j++ {
+					akj := mat.GetF(e, idx(k, j))
+					aij := mat.GetF(e, idx(i, j))
+					e.Compute(2) // multiply-add
+					mat.SetF(e, idx(i, j), aij-lik*akj)
+				}
+			}
+			e.Barrier()
+		}
+	}
+
+	check := func() error {
+		// Serial reference elimination in the same update order.
+		ref := make([]float64, n*n)
+		copy(ref, input)
+		for k := 0; k < n; k++ {
+			for i := k + 1; i < n; i++ {
+				lik := ref[idx(i, k)] / ref[idx(k, k)]
+				ref[idx(i, k)] = lik
+				for j := k + 1; j < n; j++ {
+					ref[idx(i, j)] -= lik * ref[idx(k, j)]
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := mat.FinalF(m, idx(i, j))
+				if !approxEqual(got, ref[idx(i, j)], 1e-12) {
+					return fmt.Errorf("lu: element (%d,%d) = %g, want %g", i, j, got, ref[idx(i, j)])
+				}
+			}
+		}
+		return nil
+	}
+	return body, check
+}

@@ -1,0 +1,202 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+)
+
+// MP3D is a rarefied-fluid-flow particle simulation modeled on the
+// SPLASH MP3D kernel the paper evaluates (3000 particles, 10 steps).
+//
+// Particles move through a discretized 3-D wind tunnel. Three sharing
+// patterns reproduce MP3D's notorious cache behavior:
+//
+//   - the particle state arrays are block-partitioned and mostly
+//     private;
+//   - every particle reads the *density* of its current space cell, so
+//     each cell's density word is read-shared by every processor whose
+//     particles pass through it (a high degree of sharing);
+//   - per-cell collision counters are updated under a lock by whichever
+//     processor owns the particle (migratory data), and at the end of
+//     each step the cell's owner republishes the density, invalidating
+//     all of its readers.
+type MP3D struct {
+	// Particles is the particle count (paper: 3000).
+	Particles int
+	// Steps is the number of time steps (paper: 10).
+	Steps int
+	// CellsPerDim discretizes the unit tunnel into CellsPerDim^3 cells.
+	CellsPerDim int
+	// Seed makes initial positions and velocities reproducible.
+	Seed int64
+}
+
+// DefaultMP3D returns the paper's MP3D configuration.
+func DefaultMP3D() *MP3D {
+	return &MP3D{Particles: 3000, Steps: 10, CellsPerDim: 8, Seed: 1}
+}
+
+// Name implements App.
+func (a *MP3D) Name() string { return "mp3d" }
+
+// fixed-point representation: positions and velocities are scaled
+// integers so the parallel run is bit-identical to the serial
+// reference regardless of interleaving.
+const mpScale = 1 << 20
+
+// Prepare implements App.
+func (a *MP3D) Prepare(m *coherent.Machine) (proc.Body, func() error) {
+	if a.Particles < 1 || a.Steps < 1 || a.CellsPerDim < 1 {
+		panic(fmt.Sprintf("apps: bad MP3D config %+v", a))
+	}
+	np := a.Particles
+	cells := a.CellsPerDim * a.CellsPerDim * a.CellsPerDim
+	// A cell is "crowded" above twice the mean occupancy; crowded cells
+	// deflect incoming particles (the deterministic collision model).
+	crowd := int64(2*np/cells + 1)
+
+	pos := [3]Array{AllocArray(m, np), AllocArray(m, np), AllocArray(m, np)}
+	vel := [3]Array{AllocArray(m, np), AllocArray(m, np), AllocArray(m, np)}
+	hits := AllocArray(m, cells) // per-cell collision counters (locked)
+	dens := AllocArray(m, cells) // per-cell density, read-shared by all
+
+	// Deterministic initial state, written inside the simulation so
+	// every protocol sees identical reference streams.
+	rng := rand.New(rand.NewSource(a.Seed))
+	initPos := make([][3]int64, np)
+	initVel := make([][3]int64, np)
+	for i := range initPos {
+		for d := 0; d < 3; d++ {
+			initPos[i][d] = int64(rng.Intn(mpScale))
+			initVel[i][d] = int64(rng.Intn(mpScale/8)) - mpScale/16
+		}
+	}
+
+	step := func(p, v *[3]int64, crowded bool) {
+		for d := 0; d < 3; d++ {
+			if crowded {
+				// Deflect: collision with the local population.
+				v[d] = -v[d]
+			}
+			p[d] += v[d] / 8
+			if p[d] < 0 {
+				p[d] = -p[d]
+				v[d] = -v[d]
+			}
+			if p[d] >= mpScale {
+				p[d] = 2*(mpScale-1) - p[d]
+				v[d] = -v[d]
+			}
+		}
+	}
+
+	body := func(e proc.Env) {
+		id, nprocs := e.ID(), e.NProcs()
+		lo, hi := chunk(np, nprocs, id)
+		clo, chi := chunk(cells, nprocs, id)
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				pos[d].Set(e, i, uint64(initPos[i][d]))
+				vel[d].Set(e, i, uint64(initVel[i][d]))
+			}
+		}
+		for c := clo; c < chi; c++ {
+			hits.Set(e, c, 0)
+			dens.Set(e, c, 0)
+		}
+		e.Barrier()
+
+		for s := 0; s < a.Steps; s++ {
+			// Move phase: read the (previous step's) density of the
+			// particle's cell — the wide read-sharing — then advance.
+			for i := lo; i < hi; i++ {
+				var p, v [3]int64
+				for d := 0; d < 3; d++ {
+					p[d] = int64(pos[d].Get(e, i))
+					v[d] = int64(vel[d].Get(e, i))
+				}
+				c := cellOf(p, a.CellsPerDim)
+				crowded := int64(dens.Get(e, c)) >= crowd
+				e.Compute(8) // move + reflect arithmetic
+				step(&p, &v, crowded)
+				for d := 0; d < 3; d++ {
+					pos[d].Set(e, i, uint64(p[d]))
+					vel[d].Set(e, i, uint64(v[d]))
+				}
+				// Collision bookkeeping in the destination cell.
+				nc := cellOf(p, a.CellsPerDim)
+				e.Lock(1000 + nc%64)
+				hits.Set(e, nc, hits.Get(e, nc)+1)
+				e.Unlock(1000 + nc%64)
+			}
+			e.Barrier()
+			// Density update phase: each cell's owner republishes its
+			// density, invalidating every reader of that cell.
+			for c := clo; c < chi; c++ {
+				dens.Set(e, c, hits.Get(e, c))
+			}
+			e.Barrier()
+		}
+	}
+
+	check := func() error {
+		// Serial reference with identical fixed-point arithmetic and
+		// phase structure.
+		refPos := make([][3]int64, np)
+		refVel := make([][3]int64, np)
+		copy(refPos, initPos)
+		copy(refVel, initVel)
+		refHits := make([]int64, cells)
+		refDens := make([]int64, cells)
+		for s := 0; s < a.Steps; s++ {
+			for i := 0; i < np; i++ {
+				c := cellOf(refPos[i], a.CellsPerDim)
+				crowded := refDens[c] >= crowd
+				step(&refPos[i], &refVel[i], crowded)
+				refHits[cellOf(refPos[i], a.CellsPerDim)]++
+			}
+			copy(refDens, refHits)
+		}
+		for i := 0; i < np; i++ {
+			for d := 0; d < 3; d++ {
+				if got := int64(pos[d].Final(m, i)); got != refPos[i][d] {
+					return fmt.Errorf("mp3d: particle %d dim %d position %d, want %d", i, d, got, refPos[i][d])
+				}
+			}
+		}
+		var total int64
+		for c := 0; c < cells; c++ {
+			got := int64(hits.Final(m, c))
+			if got != refHits[c] {
+				return fmt.Errorf("mp3d: cell %d hits %d, want %d", c, got, refHits[c])
+			}
+			if gd := int64(dens.Final(m, c)); gd != refDens[c] {
+				return fmt.Errorf("mp3d: cell %d density %d, want %d", c, gd, refDens[c])
+			}
+			total += got
+		}
+		if total != int64(np)*int64(a.Steps) {
+			return fmt.Errorf("mp3d: total hits %d, want %d", total, int64(np)*int64(a.Steps))
+		}
+		return nil
+	}
+	return body, check
+}
+
+func cellOf(p [3]int64, perDim int) int {
+	c := 0
+	for d := 0; d < 3; d++ {
+		x := int(p[d] * int64(perDim) / mpScale)
+		if x < 0 {
+			x = 0
+		}
+		if x >= perDim {
+			x = perDim - 1
+		}
+		c = c*perDim + x
+	}
+	return c
+}

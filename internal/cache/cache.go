@@ -1,0 +1,257 @@
+// Package cache implements the per-node data cache: a set-associative
+// (by default fully-associative, per the paper's Table 5) array of
+// lines with true LRU replacement and room for per-line protocol
+// metadata such as the Dir_iTree_k child pointers.
+//
+// The cache holds tags and states only; simulated data values live in
+// the machine's backing store so that the coherence monitor can verify
+// protocol correctness independently of the cache structure.
+package cache
+
+import "fmt"
+
+// BlockID is a global shared-memory block number (address / block size).
+type BlockID uint64
+
+// State is a stable cache-line state from the paper's Figure 3.
+// Transient states (RM_IP, WM_IP, INV_IP) are tracked per outstanding
+// transaction by the machine, not stored in the line.
+type State uint8
+
+const (
+	// Invalid (IV): the line holds no usable copy.
+	Invalid State = iota
+	// Valid (V): a read-only shared copy.
+	Valid
+	// Exclusive (E): the only copy, possibly dirty.
+	Exclusive
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "IV"
+	case Valid:
+		return "V"
+	case Exclusive:
+		return "E"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Line is one cache block frame.
+type Line struct {
+	Block BlockID
+	State State
+	// Val is the simulated 64-bit block contents; the coherence monitor
+	// compares it against the authoritative store to detect stale
+	// copies.
+	Val uint64
+	// Meta holds protocol-specific per-line directory state, e.g. the
+	// k child pointers of Dir_iTree_k or the next pointer of SCI.
+	Meta any
+	// Pinned lines are never chosen as victims (a miss is outstanding
+	// on them).
+	Pinned bool
+
+	set        int
+	prev, next *Line // LRU list links within the set
+}
+
+// Cache is a set-associative cache with per-set true LRU.
+type Cache struct {
+	sets  int
+	assoc int
+	// per-set lookup and LRU ordering; head = MRU, tail = LRU.
+	index []map[BlockID]*Line
+	head  []*Line
+	tail  []*Line
+	used  []int
+}
+
+// New builds a cache with the given number of sets and associativity.
+// A fully-associative cache of L lines is New(1, L).
+func New(sets, assoc int) (*Cache, error) {
+	if sets < 1 || assoc < 1 {
+		return nil, fmt.Errorf("cache: invalid geometry sets=%d assoc=%d", sets, assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: sets must be a power of two, got %d", sets)
+	}
+	c := &Cache{
+		sets:  sets,
+		assoc: assoc,
+		index: make([]map[BlockID]*Line, sets),
+		head:  make([]*Line, sets),
+		tail:  make([]*Line, sets),
+		used:  make([]int, sets),
+	}
+	for i := range c.index {
+		c.index[i] = make(map[BlockID]*Line, assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(sets, assoc int) *Cache {
+	c, err := New(sets, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity (ways per set).
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Capacity returns the total number of line frames.
+func (c *Cache) Capacity() int { return c.sets * c.assoc }
+
+// Len returns the number of lines currently holding a block (any state,
+// including Invalid lines that still occupy a frame until reused).
+func (c *Cache) Len() int {
+	n := 0
+	for _, u := range c.used {
+		n += u
+	}
+	return n
+}
+
+func (c *Cache) setOf(b BlockID) int { return int(b) & (c.sets - 1) }
+
+// Lookup returns the line holding block b, or nil. It does not update
+// LRU order; callers decide whether an access counts as a use (Touch).
+func (c *Cache) Lookup(b BlockID) *Line { return c.index[c.setOf(b)][b] }
+
+// Touch marks ln most-recently-used within its set.
+func (c *Cache) Touch(ln *Line) {
+	c.unlink(ln)
+	c.pushFront(ln)
+}
+
+// Victim returns the frame to use for block b: the line already holding
+// b if present, else an unused frame, else the least-recently-used
+// unpinned line in b's set (which the caller must evict with Evict
+// before installing). Returns nil only if every frame in the set is
+// pinned, which cannot happen with one outstanding miss per processor
+// unless the cache is pathologically small; callers treat nil as a
+// fatal configuration error.
+func (c *Cache) Victim(b BlockID) *Line {
+	s := c.setOf(b)
+	if ln := c.index[s][b]; ln != nil {
+		return ln
+	}
+	if c.used[s] < c.assoc {
+		ln := &Line{set: s, State: Invalid}
+		c.used[s]++
+		c.pushFront(ln)
+		return ln
+	}
+	// Walk from LRU toward MRU for the first unpinned frame.
+	for ln := c.tail[s]; ln != nil; ln = ln.prev {
+		if !ln.Pinned {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Evict removes ln's current block from the lookup index and resets the
+// line to Invalid with no metadata. The frame remains in the set for
+// reuse. Evicting an unindexed (fresh) line is a no-op.
+func (c *Cache) Evict(ln *Line) {
+	if old, ok := c.index[ln.set][ln.Block]; ok && old == ln {
+		delete(c.index[ln.set], ln.Block)
+	}
+	ln.State = Invalid
+	ln.Meta = nil
+}
+
+// Install binds ln to block b in the given state and marks it MRU.
+// The line must have been obtained from Victim (and Evicted if it held
+// a different block).
+func (c *Cache) Install(ln *Line, b BlockID, st State) {
+	if old, ok := c.index[ln.set][ln.Block]; ok && old == ln && ln.Block != b {
+		panic(fmt.Sprintf("cache: Install over live block %d without Evict", ln.Block))
+	}
+	if other := c.index[ln.set][b]; other != nil && other != ln {
+		panic(fmt.Sprintf("cache: block %d already cached in another frame", b))
+	}
+	ln.Block = b
+	ln.State = st
+	c.index[ln.set][b] = ln
+	c.Touch(ln)
+}
+
+// Invalidate marks the line holding b Invalid (clearing metadata) and
+// removes it from the index, keeping the frame. Returns the prior state
+// and true if b was present.
+func (c *Cache) Invalidate(b BlockID) (State, bool) {
+	ln := c.Lookup(b)
+	if ln == nil {
+		return Invalid, false
+	}
+	st := ln.State
+	c.Evict(ln)
+	// An invalidated frame is a prime victim: move it to LRU.
+	c.unlink(ln)
+	c.pushBack(ln)
+	return st, true
+}
+
+// ForEach calls fn for every line currently bound to a block. fn must
+// not mutate the cache structure.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for s := 0; s < c.sets; s++ {
+		for _, ln := range c.index[s] {
+			fn(ln)
+		}
+	}
+}
+
+// lru helpers
+
+func (c *Cache) pushFront(ln *Line) {
+	s := ln.set
+	ln.prev = nil
+	ln.next = c.head[s]
+	if c.head[s] != nil {
+		c.head[s].prev = ln
+	}
+	c.head[s] = ln
+	if c.tail[s] == nil {
+		c.tail[s] = ln
+	}
+}
+
+func (c *Cache) pushBack(ln *Line) {
+	s := ln.set
+	ln.next = nil
+	ln.prev = c.tail[s]
+	if c.tail[s] != nil {
+		c.tail[s].next = ln
+	}
+	c.tail[s] = ln
+	if c.head[s] == nil {
+		c.head[s] = ln
+	}
+}
+
+func (c *Cache) unlink(ln *Line) {
+	s := ln.set
+	if ln.prev != nil {
+		ln.prev.next = ln.next
+	} else if c.head[s] == ln {
+		c.head[s] = ln.next
+	}
+	if ln.next != nil {
+		ln.next.prev = ln.prev
+	} else if c.tail[s] == ln {
+		c.tail[s] = ln.prev
+	}
+	ln.prev, ln.next = nil, nil
+}

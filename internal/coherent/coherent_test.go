@@ -1,0 +1,520 @@
+package coherent
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dircc/internal/cache"
+)
+
+// fakeEngine is a minimal protocol used to unit-test the machine
+// scaffolding: every miss is served by the home with a two-message
+// exchange and no invalidations (it is deliberately incoherent for
+// writes so monitor tests can provoke violations).
+type fakeEngine struct {
+	// breakSWMR leaves other copies valid on writes.
+	breakSWMR   bool
+	evicted     []BlockID
+	homeReqs    int
+	gatedBlocks map[BlockID]bool
+}
+
+func newFake() *fakeEngine { return &fakeEngine{gatedBlocks: map[BlockID]bool{}} }
+
+func (f *fakeEngine) Name() string { return "fake" }
+
+func (f *fakeEngine) StartMiss(m *Machine, txn *Txn) {
+	typ := MsgReadReq
+	if txn.Write {
+		typ = MsgWriteReq
+	}
+	m.Send(&Msg{
+		Type: typ, Src: txn.Node, Dst: m.Home(txn.Block), Block: txn.Block,
+		Requester: txn.Node, Data: txn.Value, HasData: txn.Write,
+		ToDir: true, Gated: true, Aux: NoNode,
+	})
+}
+
+func (f *fakeEngine) HomeRequest(m *Machine, msg *Msg) {
+	f.homeReqs++
+	f.gatedBlocks[msg.Block] = true
+	b := msg.Block
+	if msg.Type == MsgWriteReq {
+		m.SerializeWrite(msg)
+		if !f.breakSWMR {
+			// Invalidate every other copy instantaneously (test fake).
+			for _, node := range m.Nodes {
+				if node.ID != msg.Requester {
+					node.Cache.Invalidate(b)
+				}
+			}
+		}
+		m.Send(&Msg{Type: MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Aux: NoNode})
+		return
+	}
+	m.ReadMem(func() {
+		m.Send(&Msg{Type: MsgDataReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: NoNode})
+		m.ReleaseHome(b)
+	})
+}
+
+func (f *fakeEngine) HomeMsg(m *Machine, msg *Msg) {}
+
+func (f *fakeEngine) CacheMsg(m *Machine, msg *Msg) {
+	txn := m.Txn(msg.Dst, msg.Block)
+	if txn == nil {
+		return
+	}
+	switch msg.Type {
+	case MsgDataReply:
+		m.CompleteTxn(txn, cache.Valid, msg.Data, nil)
+	case MsgWriteReply:
+		m.CompleteTxn(txn, cache.Exclusive, txn.Value, nil)
+		m.ReleaseHome(msg.Block)
+	}
+}
+
+func (f *fakeEngine) OnEvict(m *Machine, n NodeID, ln *cache.Line) {
+	f.evicted = append(f.evicted, ln.Block)
+}
+
+func (f *fakeEngine) DirectoryBits(cfg Config, blocksPerNode int) int64 { return 0 }
+
+func newTestMachine(t *testing.T, procs int, check bool) (*Machine, *fakeEngine) {
+	t.Helper()
+	cfg := DefaultConfig(procs)
+	cfg.Check = check
+	eng := newFake()
+	m, err := NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, eng
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Procs = 0 },
+		func(c *Config) { c.BlockBytes = 0 },
+		func(c *Config) { c.CacheBytes = 4 },
+		func(c *Config) { c.CacheSets = 3 },
+		func(c *Config) { c.MemLatency = 0 },
+		func(c *Config) { c.CacheLatency = 0 },
+		func(c *Config) { c.HeaderBytes = 0 },
+		func(c *Config) { c.PtrBytes = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig(8)
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	cfg := DefaultConfig(8)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if cfg.CacheLines() != 2048 || cfg.CacheAssoc() != 2048 {
+		t.Fatalf("Table 5 geometry wrong: %d lines, %d assoc", cfg.CacheLines(), cfg.CacheAssoc())
+	}
+}
+
+func TestNewMachineRejectsBadInput(t *testing.T) {
+	if _, err := NewMachine(DefaultConfig(0), newFake()); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := NewMachine(DefaultConfig(4), nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestHomeInterleaving(t *testing.T) {
+	m, _ := newTestMachine(t, 8, false)
+	for b := BlockID(0); b < 64; b++ {
+		if got, want := m.Home(b), NodeID(uint64(b)%8); got != want {
+			t.Fatalf("Home(%d) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m, _ := newTestMachine(t, 4, false)
+	a := m.Alloc(3) // rounds up to one block
+	b := m.Alloc(8)
+	if a == b || b-a != 8 {
+		t.Fatalf("allocation not block-aligned: %d %d", a, b)
+	}
+	if m.BlockOf(a) == m.BlockOf(b) {
+		t.Fatal("distinct allocations share a block")
+	}
+}
+
+func TestMsgBytes(t *testing.T) {
+	cfg := DefaultConfig(4)
+	ctrl := &Msg{Type: MsgInv}
+	if got := ctrl.Bytes(cfg); got != cfg.HeaderBytes {
+		t.Fatalf("control message %d bytes, want %d", got, cfg.HeaderBytes)
+	}
+	data := &Msg{Type: MsgDataReply, HasData: true}
+	if got := data.Bytes(cfg); got != cfg.HeaderBytes+cfg.BlockBytes {
+		t.Fatalf("data message %d bytes", got)
+	}
+	handoff := &Msg{Type: MsgDataReply, HasData: true, Ptrs: []NodeID{1, 2}}
+	if got := handoff.Bytes(cfg); got != cfg.HeaderBytes+cfg.BlockBytes+2*cfg.PtrBytes {
+		t.Fatalf("handoff message %d bytes", got)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for typ := MsgReadReq; typ <= MsgUpdate; typ++ {
+		if s := typ.String(); strings.HasPrefix(s, "MsgType(") {
+			t.Errorf("message type %d has no name", typ)
+		}
+	}
+	if !strings.HasPrefix(MsgType(200).String(), "MsgType(") {
+		t.Error("unknown type should fall back")
+	}
+}
+
+func TestAccessHitAndMiss(t *testing.T) {
+	m, _ := newTestMachine(t, 4, true)
+	addr := m.Alloc(8)
+	var got uint64
+	done := false
+	m.Access(1, addr, true, 77, func(uint64) {
+		// Write completed; read back (hit on exclusive).
+		m.Access(1, addr, false, 0, func(v uint64) { got = v; done = true })
+	})
+	if err := m.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || got != 77 {
+		t.Fatalf("read back %d (done=%v), want 77", got, done)
+	}
+	if m.Ctr.WriteMisses != 1 || m.Ctr.ReadHits != 1 {
+		t.Fatalf("counters wrong: %+v", m.Ctr)
+	}
+}
+
+func TestDoubleAccessPanics(t *testing.T) {
+	m, _ := newTestMachine(t, 4, false)
+	addr := m.Alloc(8)
+	m.Access(0, addr, false, 0, func(uint64) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second outstanding access did not panic")
+		}
+	}()
+	m.Access(0, addr, false, 0, func(uint64) {})
+}
+
+func TestGateSerializesRequests(t *testing.T) {
+	m, eng := newTestMachine(t, 4, false)
+	addr := m.Alloc(8)
+	b := m.BlockOf(addr)
+	// Three reads from different nodes race to the home; the gate must
+	// serialize HomeRequest calls and drain the queue.
+	finished := 0
+	for n := NodeID(0); n < 3; n++ {
+		m.Access(n, addr, false, 0, func(uint64) { finished++ })
+	}
+	if err := m.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 3 || eng.homeReqs != 3 {
+		t.Fatalf("finished=%d homeReqs=%d", finished, eng.homeReqs)
+	}
+	if m.HomeGateBusy(b) {
+		t.Fatal("gate leaked")
+	}
+	if m.Ctr.DirectoryBusy == 0 {
+		t.Fatal("expected queued requests to be counted")
+	}
+}
+
+func TestReleaseHomeWithoutGatePanics(t *testing.T) {
+	m, _ := newTestMachine(t, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("ReleaseHome without held gate did not panic")
+		}
+	}()
+	m.ReleaseHome(5)
+}
+
+func TestEvictionCallback(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.CacheBytes = 2 * cfg.BlockBytes // two lines
+	eng := newFake()
+	m, err := NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Alloc(4 * 8)
+	var step func(i int)
+	step = func(i int) {
+		if i == 4 {
+			return
+		}
+		m.Access(0, base+uint64(i*8), false, 0, func(uint64) { step(i + 1) })
+	}
+	step(0)
+	if err := m.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.evicted) != 2 || m.Ctr.Replacements != 2 {
+		t.Fatalf("evictions = %v (replacements %d), want 2", eng.evicted, m.Ctr.Replacements)
+	}
+}
+
+func TestMonitorCatchesSWMRViolation(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Check = true
+	eng := newFake()
+	eng.breakSWMR = true
+	m, err := NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	// Node 1 reads, then node 0 writes without invalidating node 1.
+	m.Access(1, addr, false, 0, func(uint64) {
+		m.Access(0, addr, true, 9, func(uint64) {})
+	})
+	err = m.Quiesce()
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("monitor missed the SWMR violation: %v", err)
+	}
+}
+
+func TestStoreWriteLifecycle(t *testing.T) {
+	s := NewStore()
+	if s.Value(7) != 0 {
+		t.Fatal("uninitialized block should read 0")
+	}
+	s.ApplyWrite(7, 100)
+	if s.Value(7) != 100 {
+		t.Fatal("ApplyWrite did not commit the value")
+	}
+	if old, busy := s.WriteInFlight(7); !busy || old != 0 {
+		t.Fatalf("WriteInFlight = %d,%v", old, busy)
+	}
+	s.CommitWrite(7)
+	if _, busy := s.WriteInFlight(7); busy {
+		t.Fatal("CommitWrite did not clear the in-flight state")
+	}
+}
+
+func TestStoreDoubleApplyPanics(t *testing.T) {
+	s := NewStore()
+	s.ApplyWrite(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping writes did not panic")
+		}
+	}()
+	s.ApplyWrite(1, 6)
+}
+
+func TestStoreCommitWithoutApplyPanics(t *testing.T) {
+	s := NewStore()
+	defer func() {
+		if recover() == nil {
+			t.Error("CommitWrite without ApplyWrite did not panic")
+		}
+	}()
+	s.CommitWrite(3)
+}
+
+func TestStoreOwnerWriteOrdering(t *testing.T) {
+	s := NewStore()
+	// Owner hit with no write in flight: updates the committed value.
+	s.OwnerWrite(2, 11)
+	if s.Value(2) != 11 {
+		t.Fatal("OwnerWrite lost")
+	}
+	// With a serialized write in flight, the owner's hit is ordered
+	// before it: the pre-write image updates, the committed value stays.
+	s.ApplyWrite(2, 22)
+	s.OwnerWrite(2, 12)
+	if s.Value(2) != 22 {
+		t.Fatal("OwnerWrite overwrote a serialized write")
+	}
+	if old, _ := s.WriteInFlight(2); old != 12 {
+		t.Fatalf("pre-write image = %d, want 12", old)
+	}
+	s.CommitWrite(2)
+}
+
+func TestStoreWritebackOrdering(t *testing.T) {
+	s := NewStore()
+	s.WritebackValue(3, 5)
+	if s.Value(3) != 5 {
+		t.Fatal("writeback lost")
+	}
+	s.ApplyWrite(3, 9)
+	s.WritebackValue(3, 6) // stale data racing the serialized write
+	if s.Value(3) != 9 {
+		t.Fatal("stale writeback overwrote a serialized write")
+	}
+	s.CommitWrite(3)
+}
+
+func TestDeferToTxn(t *testing.T) {
+	m, _ := newTestMachine(t, 4, false)
+	addr := m.Alloc(8)
+	b := m.BlockOf(addr)
+	m.Access(2, addr, false, 0, func(uint64) {})
+	msg := &Msg{Type: MsgInv, Dst: 2, Block: b}
+	if !m.DeferToTxn(2, msg) {
+		t.Fatal("DeferToTxn refused a matching read txn")
+	}
+	if m.DeferToTxn(3, msg) {
+		t.Fatal("DeferToTxn accepted a node without a txn")
+	}
+	other := &Msg{Type: MsgInv, Dst: 2, Block: b + 1}
+	if m.DeferToTxn(2, other) {
+		t.Fatal("DeferToTxn accepted a block mismatch")
+	}
+	if err := m.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of single-node reads and writes through the
+// machine returns exactly the values a map would.
+func TestQuickSingleNodeSemantics(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := DefaultConfig(2)
+		cfg.CacheBytes = 8 * cfg.BlockBytes // force replacements too
+		m, err := NewMachine(cfg, newFake())
+		if err != nil {
+			return false
+		}
+		base := m.Alloc(32 * 8)
+		ref := map[uint64]uint64{}
+		ok := true
+		var step func(i int)
+		step = func(i int) {
+			if i >= len(ops) || !ok {
+				return
+			}
+			op := ops[i]
+			addr := base + uint64(op%32)*8
+			if op&0x8000 != 0 {
+				val := uint64(op)
+				ref[addr] = val
+				m.Access(0, addr, true, val, func(uint64) { step(i + 1) })
+			} else {
+				want := ref[addr]
+				m.Access(0, addr, false, 0, func(v uint64) {
+					if v != want {
+						ok = false
+					}
+					step(i + 1)
+				})
+			}
+		}
+		step(0)
+		if err := m.Quiesce(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomePageInterleaving(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.HomePageBlocks = 8
+	m, err := NewMachine(cfg, newFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0..7 share a home; blocks 8..15 the next node.
+	for b := BlockID(0); b < 8; b++ {
+		if m.Home(b) != 0 {
+			t.Fatalf("Home(%d) = %d, want 0", b, m.Home(b))
+		}
+	}
+	for b := BlockID(8); b < 16; b++ {
+		if m.Home(b) != 1 {
+			t.Fatalf("Home(%d) = %d, want 1", b, m.Home(b))
+		}
+	}
+	if m.Home(32) != 0 {
+		t.Fatalf("Home(32) = %d, want wraparound to 0", m.Home(32))
+	}
+}
+
+func TestConfigRejectsNegativeKnobs(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.HomePageBlocks = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative HomePageBlocks accepted")
+	}
+	cfg = DefaultConfig(4)
+	cfg.WriteBuffer = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative WriteBuffer accepted")
+	}
+}
+
+func TestPageInterleavedRunWorks(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Check = true
+	cfg.HomePageBlocks = 16
+	m, err := NewMachine(cfg, newFake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Alloc(64 * 8)
+	doneCount := 0
+	var step func(i int)
+	step = func(i int) {
+		if i >= 32 {
+			return
+		}
+		doneCount++
+		m.Access(1, base+uint64(i*8), i%2 == 0, uint64(i), func(uint64) { step(i + 1) })
+	}
+	step(0)
+	if err := m.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if doneCount != 32 {
+		t.Fatalf("completed %d accesses, want 32", doneCount)
+	}
+}
+
+// staleHitEngine serves reads but deliberately skips invalidation so a
+// later read HIT observes a stale value — the monitor must catch it.
+func TestMonitorCatchesStaleReadHit(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Check = true
+	eng := newFake()
+	eng.breakSWMR = true
+	m, err := NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	b := m.BlockOf(addr)
+	// Node 1 reads (installs 0); node 0 writes 9 without invalidating;
+	// node 1 read-hits the stale copy.
+	m.Access(1, addr, false, 0, func(uint64) {
+		m.Access(0, addr, true, 9, func(uint64) {
+			m.Access(1, addr, false, 0, func(uint64) {})
+		})
+	})
+	err = m.Quiesce()
+	if err == nil {
+		t.Fatal("monitor missed the stale read hit")
+	}
+	_ = b
+}

@@ -1,0 +1,526 @@
+// Package coherent ties the simulation substrates into a shared-memory
+// multiprocessor: processors with private caches, distributed home
+// memory modules with per-block directories, and a protocol engine that
+// decides what messages flow on a miss.
+//
+// The machine enforces the paper's execution model: strong consistency
+// with one outstanding reference per processor, and per-block request
+// serialization at the home (the directory transient states RM_WW,
+// WM_WW, WM_LIP of the paper's Figure 4 are realized by the home gate:
+// while a transaction is in progress on a block, later requests for the
+// same block queue in FIFO order).
+package coherent
+
+import (
+	"fmt"
+
+	"dircc/internal/cache"
+	"dircc/internal/network"
+	"dircc/internal/sim"
+	"dircc/internal/stats"
+	"dircc/internal/topology"
+)
+
+// Engine is a cache coherence protocol plugged into a Machine.
+//
+// The machine owns caches, the network, per-block home gates, and
+// transaction bookkeeping; the engine owns directory contents, per-line
+// metadata (cache.Line.Meta), and the message choreography.
+type Engine interface {
+	// Name returns the scheme's short name, e.g. "fm", "Dir4NB",
+	// "Dir4Tree2".
+	Name() string
+
+	// StartMiss begins a read or write miss for txn at txn.Node. The
+	// machine has already selected, evicted (via OnEvict) and pinned
+	// the destination line. The engine must eventually call
+	// m.CompleteTxn(txn, ...).
+	StartMiss(m *Machine, txn *Txn)
+
+	// HomeRequest processes a gated request (ReadReq/WriteReq and any
+	// engine-specific gated types) at the home node. It runs with the
+	// block gate held; the engine must eventually call
+	// m.ReleaseHome(msg.Block).
+	HomeRequest(m *Machine, msg *Msg)
+
+	// HomeMsg processes an ungated directory-bound message (acks,
+	// writebacks).
+	HomeMsg(m *Machine, msg *Msg)
+
+	// CacheMsg processes a message addressed to a cache controller.
+	CacheMsg(m *Machine, msg *Msg)
+
+	// OnEvict handles replacement of a valid or exclusive line at node
+	// n (send Replace_INV, write back, unlink, ... as the scheme
+	// requires). The machine clears the line immediately after.
+	OnEvict(m *Machine, n NodeID, ln *cache.Line)
+
+	// DirectoryBits returns the total directory storage in bits for a
+	// machine with the given configuration and blocksPerNode blocks of
+	// shared memory per node (the paper's memory-overhead comparison).
+	DirectoryBits(cfg Config, blocksPerNode int) int64
+}
+
+// Txn is one outstanding processor transaction (the requester side of a
+// miss). The machine allocates it; engines may hang per-transaction
+// scratch state off Scratch.
+type Txn struct {
+	Node  NodeID
+	Block BlockID
+	Write bool
+	// Value is the datum being written (write transactions).
+	Value uint64
+	// Line is the pinned destination frame.
+	Line *cache.Line
+	// Issued is when the processor issued the reference.
+	Issued sim.Time
+	// Served is set by the engine when the home has sent this
+	// transaction's reply. Tree protocols use it to decide whether an
+	// incoming Inv must be deferred (reply in flight, possibly carrying
+	// adopted children) or acknowledged immediately (request still
+	// queued at the gate — deferring would deadlock the wave).
+	Served bool
+	// Deferred collects messages (typically Inv) that arrived for this
+	// block while the data reply was still in flight; the machine
+	// redelivers them after installation.
+	Deferred []*Msg
+	// Scratch is engine-private per-transaction state.
+	Scratch any
+
+	// RMW, when non-nil, makes this write transaction an atomic
+	// read-modify-write: the new value is computed from the block's
+	// current contents at the serialization point (SerializeWrite), and
+	// the processor receives the old value.
+	RMW    func(old uint64) uint64
+	rmwOld uint64
+
+	done func(uint64)
+}
+
+// Node is one processing element.
+type Node struct {
+	ID    NodeID
+	Cache *cache.Cache
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	Eng   *sim.Engine
+	Net   *network.Network
+	Topo  topology.Topology
+	Cfg   Config
+	Nodes []*Node
+	Ctr   *stats.Counters
+	Store *Store
+	Mon   *Monitor // nil unless Cfg.Check
+
+	proto Engine
+
+	// txns holds the outstanding transactions per node, keyed by block.
+	// The paper's strong consistency model uses one per node; the
+	// write-buffer relaxation (proc.Config.WriteBuffer) allows one read
+	// plus one write in flight concurrently, always on distinct blocks.
+	txns []map[BlockID]*Txn
+
+	// gates serialize home processing per block.
+	gates map[BlockID]*gate
+
+	// dir holds engine-owned per-block directory state, keyed globally
+	// (the home node is implied by the block id).
+	dir map[BlockID]any
+
+	// allocTop is the next free byte of the shared address space.
+	allocTop uint64
+}
+
+type gate struct {
+	busy  bool
+	queue []*Msg
+}
+
+// NewMachine builds a machine over a hypercube sized for cfg.Procs.
+func NewMachine(cfg Config, proto Engine) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("coherent: nil protocol engine")
+	}
+	topo, err := topology.HypercubeForNodes(cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachineOn(cfg, proto, topo)
+}
+
+// NewMachineOn builds a machine over an explicit topology, which must
+// have at least cfg.Procs nodes.
+func NewMachineOn(cfg Config, proto Engine, topo topology.Topology) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.Nodes() < cfg.Procs {
+		return nil, fmt.Errorf("coherent: topology %s has %d nodes, need %d",
+			topo.Name(), topo.Nodes(), cfg.Procs)
+	}
+	eng := sim.NewEngine()
+	eng.MaxEvents = cfg.MaxEvents
+	ctr := stats.NewCounters()
+	net, err := network.New(eng, topo, cfg.Net, ctr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Eng:   eng,
+		Net:   net,
+		Topo:  topo,
+		Cfg:   cfg,
+		Ctr:   ctr,
+		Store: NewStore(),
+		proto: proto,
+		txns:  make([]map[BlockID]*Txn, cfg.Procs),
+		gates: make(map[BlockID]*gate),
+		dir:   make(map[BlockID]any),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:    NodeID(i),
+			Cache: cache.MustNew(cfg.CacheSets, cfg.CacheAssoc()),
+		})
+		m.txns[i] = make(map[BlockID]*Txn, 2)
+	}
+	if cfg.Check {
+		m.Mon = NewMonitor(m)
+	}
+	return m, nil
+}
+
+// Protocol returns the attached engine.
+func (m *Machine) Protocol() Engine { return m.proto }
+
+// Home returns the home node of block b: block-interleaved by default,
+// page-interleaved when Config.HomePageBlocks > 1.
+func (m *Machine) Home(b BlockID) NodeID {
+	unit := uint64(b)
+	if pg := m.Cfg.HomePageBlocks; pg > 1 {
+		unit = uint64(b) / uint64(pg)
+	}
+	return NodeID(unit % uint64(m.Cfg.Procs))
+}
+
+// BlockOf maps a byte address to its block.
+func (m *Machine) BlockOf(addr uint64) BlockID { return BlockID(addr / uint64(m.Cfg.BlockBytes)) }
+
+// Alloc reserves n bytes of shared address space, aligned up to a block
+// boundary, and returns the base address.
+func (m *Machine) Alloc(n uint64) uint64 {
+	base := m.allocTop
+	bb := uint64(m.Cfg.BlockBytes)
+	m.allocTop += (n + bb - 1) / bb * bb
+	return base
+}
+
+// Dir returns the engine-owned directory entry for b, or nil.
+func (m *Machine) Dir(b BlockID) any { return m.dir[b] }
+
+// SetDir stores the engine-owned directory entry for b.
+func (m *Machine) SetDir(b BlockID, v any) { m.dir[b] = v }
+
+// Txn returns node n's outstanding transaction on block b, or nil.
+func (m *Machine) Txn(n NodeID, b BlockID) *Txn { return m.txns[n][b] }
+
+// Outstanding returns the number of transactions node n has in flight.
+func (m *Machine) Outstanding(n NodeID) int { return len(m.txns[n]) }
+
+// ---------------------------------------------------------------------
+// Processor interface
+// ---------------------------------------------------------------------
+
+// Access performs one shared-memory reference from node n. done runs
+// when the reference completes (for reads, with the value read). Only
+// one reference per node may be outstanding; a second concurrent
+// Access panics, because it indicates a broken processor model.
+func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done func(uint64)) {
+	b := m.BlockOf(addr)
+	if m.txns[n][b] != nil {
+		panic(fmt.Sprintf("coherent: node %d issued a second outstanding reference on block %d", n, b))
+	}
+	node := m.Nodes[n]
+	ln := node.Cache.Lookup(b)
+
+	if write {
+		m.Ctr.Writes++
+	} else {
+		m.Ctr.Reads++
+	}
+
+	// Hit paths. A write hits only on an Exclusive copy (a Valid copy
+	// needs an ownership upgrade, which the paper treats as a write
+	// miss served with fresh data from home).
+	if ln != nil && !write && ln.State != cache.Invalid {
+		m.Ctr.ReadHits++
+		node.Cache.Touch(ln)
+		v := ln.Val
+		if m.Mon != nil {
+			m.Mon.OnReadHit(n, b, v)
+		}
+		m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(v) })
+		return
+	}
+	if ln != nil && write && ln.State == cache.Exclusive {
+		m.Ctr.WriteHits++
+		node.Cache.Touch(ln)
+		old := ln.Val
+		ln.Val = value
+		// The exclusive owner is the serialization point for its own
+		// writes; the authoritative image follows it.
+		m.Store.OwnerWrite(b, value)
+		m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(old) })
+		return
+	}
+
+	// Miss. Select the destination frame, evicting if necessary.
+	if write {
+		m.Ctr.WriteMisses++
+	} else {
+		m.Ctr.ReadMisses++
+	}
+	victim := node.Cache.Victim(b)
+	if victim == nil {
+		panic(fmt.Sprintf("coherent: node %d has no evictable frame for block %d", n, b))
+	}
+	if victim.Block != b || node.Cache.Lookup(b) != victim {
+		// Fresh or foreign frame; evict live contents first.
+		if node.Cache.Lookup(victim.Block) == victim && victim.State != cache.Invalid {
+			m.Ctr.Replacements++
+			m.proto.OnEvict(m, n, victim)
+		}
+		node.Cache.Evict(victim)
+	}
+	victim.Pinned = true
+
+	txn := &Txn{
+		Node:   n,
+		Block:  b,
+		Write:  write,
+		Value:  value,
+		Line:   victim,
+		Issued: m.Eng.Now(),
+		done:   done,
+	}
+	m.txns[n][b] = txn
+	// The miss is detected after one cache access.
+	m.Eng.Schedule(m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
+}
+
+// AccessRMW performs an atomic read-modify-write from node n: f maps
+// the block's value at the write's serialization point to the stored
+// value, and done receives the old value.
+//
+// RMWs always travel to the home (an at-memory fetch-and-op, in the
+// NYU-Ultracomputer tradition), even when the issuer holds the block
+// exclusively: f is applied under the block gate in serialization
+// order, which makes concurrent RMWs atomic with respect to each other
+// and to gated writes under every protocol engine. A plain store by an
+// exclusive owner racing a third party's in-flight RMW is a program
+// data race (use FetchAdd/locks for such words).
+func (m *Machine) AccessRMW(n NodeID, addr uint64, f func(old uint64) uint64, done func(old uint64)) {
+	if f == nil {
+		panic("coherent: AccessRMW with nil function")
+	}
+	b := m.BlockOf(addr)
+	if m.txns[n][b] != nil {
+		panic(fmt.Sprintf("coherent: node %d issued a second outstanding reference on block %d", n, b))
+	}
+	node := m.Nodes[n]
+	m.Ctr.Writes++
+	m.Ctr.WriteMisses++
+	victim := node.Cache.Victim(b)
+	if victim == nil {
+		panic(fmt.Sprintf("coherent: node %d has no evictable frame for block %d", n, b))
+	}
+	if victim.Block != b || node.Cache.Lookup(b) != victim {
+		if node.Cache.Lookup(victim.Block) == victim && victim.State != cache.Invalid {
+			m.Ctr.Replacements++
+			m.proto.OnEvict(m, n, victim)
+		}
+		node.Cache.Evict(victim)
+	}
+	victim.Pinned = true
+	txn := &Txn{
+		Node:   n,
+		Block:  b,
+		Write:  true,
+		Line:   victim,
+		Issued: m.Eng.Now(),
+		RMW:    f,
+		done:   done,
+	}
+	m.txns[n][b] = txn
+	m.Eng.Schedule(m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
+}
+
+// CompleteTxn finishes txn: installs the line in state st with value
+// val and engine metadata meta, redelivers deferred messages, and
+// resumes the processor. Engines call this exactly once per StartMiss.
+func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
+	if m.txns[txn.Node][txn.Block] != txn {
+		panic(fmt.Sprintf("coherent: CompleteTxn for node %d does not match its outstanding txn", txn.Node))
+	}
+	node := m.Nodes[txn.Node]
+	ln := txn.Line
+	ln.Pinned = false
+	node.Cache.Install(ln, txn.Block, st)
+	ln.Val = val
+	ln.Meta = meta
+
+	if txn.Write {
+		m.Store.CommitWrite(txn.Block)
+		m.Ctr.WriteMissCyc.Observe(uint64(m.Eng.Now() - txn.Issued))
+		if m.Mon != nil {
+			m.Mon.OnWriteComplete(txn.Node, txn.Block)
+		}
+	} else {
+		m.Ctr.ReadMissCycles.Observe(uint64(m.Eng.Now() - txn.Issued))
+		if m.Mon != nil {
+			m.Mon.OnReadComplete(txn.Node, txn.Block, val)
+		}
+	}
+
+	delete(m.txns[txn.Node], txn.Block)
+	deferred := txn.Deferred
+	txn.Deferred = nil
+	for _, msg := range deferred {
+		msg := msg
+		m.Eng.Schedule(0, func() { m.proto.CacheMsg(m, msg) })
+	}
+	done := txn.done
+	ret := val
+	if txn.Write && txn.RMW != nil {
+		ret = txn.rmwOld
+	}
+	m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(ret) })
+}
+
+// ---------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------
+
+// Send transmits msg over the network and dispatches it on arrival.
+func (m *Machine) Send(msg *Msg) {
+	m.Net.Send(msg.Type.String(), msg.Src, msg.Dst, msg.Bytes(m.Cfg), func() {
+		m.dispatch(msg)
+	})
+}
+
+func (m *Machine) dispatch(msg *Msg) {
+	if !msg.ToDir {
+		m.proto.CacheMsg(m, msg)
+		return
+	}
+	if !msg.Gated {
+		m.proto.HomeMsg(m, msg)
+		return
+	}
+	g := m.gates[msg.Block]
+	if g == nil {
+		g = &gate{}
+		m.gates[msg.Block] = g
+	}
+	if g.busy {
+		m.Ctr.DirectoryBusy++
+		g.queue = append(g.queue, msg)
+		return
+	}
+	g.busy = true
+	m.proto.HomeRequest(m, msg)
+}
+
+// ReleaseHome releases block b's gate and dispatches the next queued
+// request, if any. Engines call it exactly once per HomeRequest.
+func (m *Machine) ReleaseHome(b BlockID) {
+	g := m.gates[b]
+	if g == nil || !g.busy {
+		panic(fmt.Sprintf("coherent: ReleaseHome(%d) without a held gate", b))
+	}
+	if len(g.queue) == 0 {
+		g.busy = false
+		delete(m.gates, b)
+		return
+	}
+	next := g.queue[0]
+	g.queue = g.queue[1:]
+	// Process the queued request as a fresh arrival (zero-delay event
+	// so the current handler unwinds first).
+	m.Eng.Schedule(0, func() { m.proto.HomeRequest(m, next) })
+}
+
+// HomeGateBusy reports whether block b's gate is held (test helper).
+func (m *Machine) HomeGateBusy(b BlockID) bool {
+	g := m.gates[b]
+	return g != nil && g.busy
+}
+
+// ---------------------------------------------------------------------
+// Common engine helpers
+// ---------------------------------------------------------------------
+
+// DeferToTxn queues msg onto node n's outstanding read transaction for
+// the same block, returning true if it did. Engines use this for
+// invalidations that arrive before the data reply they logically
+// follow.
+func (m *Machine) DeferToTxn(n NodeID, msg *Msg) bool {
+	txn := m.txns[n][msg.Block]
+	if txn == nil || txn.Write {
+		return false
+	}
+	txn.Deferred = append(txn.Deferred, msg)
+	return true
+}
+
+// ReadMem schedules fn after the home memory access latency.
+func (m *Machine) ReadMem(fn func()) { m.Eng.Schedule(m.Cfg.MemLatency, fn) }
+
+// SerializeWrite commits a write request's value at its serialization
+// point. Engines call it exactly once per WriteReq processed under the
+// home gate; the matching CommitWrite happens in CompleteTxn. For an
+// atomic read-modify-write the new value is computed here, from the
+// block's contents in serialization order.
+func (m *Machine) SerializeWrite(msg *Msg) {
+	if txn := m.txns[msg.Requester][msg.Block]; txn != nil && txn.Write && txn.RMW != nil {
+		txn.rmwOld = m.Store.Value(msg.Block)
+		txn.Value = txn.RMW(txn.rmwOld)
+		msg.Data = txn.Value
+	}
+	m.Store.ApplyWrite(msg.Block, msg.Data)
+}
+
+// Quiesce runs the simulation until the event queue drains and then
+// performs end-of-run monitor checks. It returns the monitor errors (if
+// checking is enabled) or the engine error.
+func (m *Machine) Quiesce() error {
+	if err := m.Eng.Run(); err != nil {
+		return err
+	}
+	if m.Net.InFlight() != 0 {
+		return fmt.Errorf("coherent: %d messages still in flight after quiesce", m.Net.InFlight())
+	}
+	for n, txns := range m.txns {
+		for b := range txns {
+			return fmt.Errorf("coherent: node %d still has an outstanding transaction on block %d", n, b)
+		}
+	}
+	for b, g := range m.gates {
+		if g.busy || len(g.queue) > 0 {
+			return fmt.Errorf("coherent: block %d gate still busy at quiesce", b)
+		}
+	}
+	if m.Mon != nil {
+		m.Mon.OnQuiesce()
+		if errs := m.Mon.Errors(); len(errs) > 0 {
+			return fmt.Errorf("coherent: %d coherence violations, first: %s", len(errs), errs[0])
+		}
+	}
+	m.Ctr.Cycles = uint64(m.Eng.Now())
+	return nil
+}

@@ -1,0 +1,199 @@
+package coherent
+
+import (
+	"fmt"
+
+	"dircc/internal/cache"
+)
+
+// Store is the authoritative simulated memory contents, maintained at
+// write-serialization points: when the home begins processing a write
+// request the new value is committed here, so every data reply the home
+// issues afterwards carries the up-to-date block. Cache lines carry
+// copies of these values, which lets the monitor detect stale reads.
+type Store struct {
+	cur map[BlockID]uint64
+	// prevDuringWrite holds the old value of a block whose write
+	// transaction is between serialization and completion; read hits in
+	// other caches may legally still observe it (the write has not yet
+	// performed under the strong consistency model).
+	prevDuringWrite map[BlockID]uint64
+}
+
+// NewStore returns an empty memory image (all blocks read as zero).
+func NewStore() *Store {
+	return &Store{
+		cur:             make(map[BlockID]uint64),
+		prevDuringWrite: make(map[BlockID]uint64),
+	}
+}
+
+// Value returns the current (last serialized) value of block b.
+func (s *Store) Value(b BlockID) uint64 { return s.cur[b] }
+
+// ApplyWrite commits v as b's value at write-serialization time and
+// remembers the old value until CommitWrite.
+func (s *Store) ApplyWrite(b BlockID, v uint64) {
+	if _, busy := s.prevDuringWrite[b]; busy {
+		panic(fmt.Sprintf("coherent: two writes to block %d serialized concurrently", b))
+	}
+	s.prevDuringWrite[b] = s.cur[b]
+	s.cur[b] = v
+}
+
+// CommitWrite marks b's in-flight write performed (all invalidations
+// acknowledged, writer granted).
+func (s *Store) CommitWrite(b BlockID) {
+	if _, busy := s.prevDuringWrite[b]; !busy {
+		panic(fmt.Sprintf("coherent: CommitWrite(%d) without ApplyWrite", b))
+	}
+	delete(s.prevDuringWrite, b)
+}
+
+// WriteInFlight reports whether a write to b is between serialization
+// and completion, returning the pre-write value.
+func (s *Store) WriteInFlight(b BlockID) (old uint64, inFlight bool) {
+	old, inFlight = s.prevDuringWrite[b]
+	return
+}
+
+// OwnerWrite records a write hit by the exclusive owner. If a later
+// write to the same block is already serialized (its invalidation is
+// racing toward the owner), the hit is ordered before it, so it updates
+// the pre-write image rather than the committed value.
+func (s *Store) OwnerWrite(b BlockID, v uint64) {
+	if _, busy := s.prevDuringWrite[b]; busy {
+		s.prevDuringWrite[b] = v
+		return
+	}
+	s.cur[b] = v
+}
+
+// WritebackValue records dirty data arriving home. During an in-flight
+// write transaction the value is stale relative to the serialized
+// write, so it only refreshes the pre-write image.
+func (s *Store) WritebackValue(b BlockID, v uint64) {
+	if _, busy := s.prevDuringWrite[b]; busy {
+		s.prevDuringWrite[b] = v
+		return
+	}
+	s.cur[b] = v
+}
+
+// Monitor verifies coherence invariants during a checked run. It is
+// deliberately independent of the protocol engines: it watches only
+// architectural events (hits, completions) and the caches' stable
+// states.
+type Monitor struct {
+	m      *Machine
+	errs   []string
+	maxErr int
+}
+
+// NewMonitor attaches a monitor to m.
+func NewMonitor(m *Machine) *Monitor { return &Monitor{m: m, maxErr: 20} }
+
+// Errors returns the violations found so far.
+func (mon *Monitor) Errors() []string { return mon.errs }
+
+func (mon *Monitor) fail(format string, args ...any) {
+	if len(mon.errs) < mon.maxErr {
+		mon.errs = append(mon.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+// OnReadHit checks that a hit returns either the current value or, if a
+// write is mid-flight (serialized but not yet performed), the pre-write
+// value. Anything else is a stale copy that survived an invalidation.
+func (mon *Monitor) OnReadHit(n NodeID, b BlockID, got uint64) {
+	cur := mon.m.Store.Value(b)
+	if got == cur {
+		return
+	}
+	if old, busy := mon.m.Store.WriteInFlight(b); busy && got == old {
+		return
+	}
+	mon.fail("node %d read hit on block %d returned %d; memory holds %d", n, b, got, cur)
+}
+
+// OnReadComplete checks a read miss's reply value.
+func (mon *Monitor) OnReadComplete(n NodeID, b BlockID, got uint64) {
+	cur := mon.m.Store.Value(b)
+	if got == cur {
+		return
+	}
+	if old, busy := mon.m.Store.WriteInFlight(b); busy && got == old {
+		return
+	}
+	mon.fail("node %d read miss on block %d completed with %d; memory holds %d", n, b, got, cur)
+}
+
+// UpdateProtocol is implemented by engines that propagate writes to
+// sharers instead of invalidating them; the monitor then checks that
+// surviving copies carry the new value rather than that none survive.
+type UpdateProtocol interface {
+	UpdatesCopies() bool
+}
+
+// OnWriteComplete checks the write-atomicity invariant at the instant a
+// write transaction performs. Invalidation protocols: no cache other
+// than the writer may hold the block in a stable non-invalid state.
+// Update protocols: every surviving copy must already carry the new
+// value.
+func (mon *Monitor) OnWriteComplete(writer NodeID, b BlockID) {
+	if up, ok := mon.m.proto.(UpdateProtocol); ok && up.UpdatesCopies() {
+		want := mon.m.Store.Value(b)
+		for _, node := range mon.m.Nodes {
+			if node.ID == writer {
+				continue
+			}
+			if ln := node.Cache.Lookup(b); ln != nil && ln.State != cache.Invalid && ln.Val != want {
+				mon.fail("update write by node %d to block %d completed while node %d holds stale value %d (want %d)",
+					writer, b, node.ID, ln.Val, want)
+			}
+		}
+		return
+	}
+	for _, node := range mon.m.Nodes {
+		if node.ID == writer {
+			continue
+		}
+		if ln := node.Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
+			mon.fail("write by node %d to block %d completed while node %d still holds it in state %v",
+				writer, b, node.ID, ln.State)
+		}
+	}
+}
+
+// OnQuiesce checks end-of-run invariants: no in-flight writes, no
+// pinned lines, and every Exclusive line agrees with memory.
+func (mon *Monitor) OnQuiesce() {
+	if len(mon.m.Store.prevDuringWrite) != 0 {
+		mon.fail("run ended with %d writes never performed", len(mon.m.Store.prevDuringWrite))
+	}
+	for _, node := range mon.m.Nodes {
+		node.Cache.ForEach(func(ln *cache.Line) {
+			if ln.Pinned {
+				mon.fail("node %d ended with pinned line for block %d", node.ID, ln.Block)
+			}
+			if ln.State == cache.Exclusive && ln.Val != mon.m.Store.Value(ln.Block) {
+				mon.fail("node %d exclusive block %d holds %d; memory %d",
+					node.ID, ln.Block, ln.Val, mon.m.Store.Value(ln.Block))
+			}
+		})
+	}
+	// Exactly one exclusive copy system-wide per block.
+	owners := make(map[BlockID]int)
+	for _, node := range mon.m.Nodes {
+		node.Cache.ForEach(func(ln *cache.Line) {
+			if ln.State == cache.Exclusive {
+				owners[ln.Block]++
+			}
+		})
+	}
+	for b, n := range owners {
+		if n > 1 {
+			mon.fail("block %d has %d exclusive owners", b, n)
+		}
+	}
+}

@@ -1,0 +1,721 @@
+// Package core implements the paper's contribution: the Dir_iTree_k
+// hybrid cache coherence protocol.
+//
+// The home directory of every block holds up to i pointers, each
+// recording the root of a k-ary tree of caches holding the block; each
+// cache line holds up to k forward child pointers. Read misses cost two
+// messages like a limited directory — the home serves the data and, on
+// pointer overflow, hands the requester one or two existing roots to
+// adopt as children (the paper's Figure 6):
+//
+//	case 1: the requester is already recorded — serve, no change;
+//	case 2: a pointer slot is free — record the requester at level 1;
+//	case 3: two trees have equal height l — the requester adopts both
+//	        roots as children, takes one slot at level l+1, and the
+//	        other slot is freed;
+//	case 4: otherwise the lowest tree's root becomes the requester's
+//	        only child and that slot is re-pointed at level l+1.
+//
+// Write misses tear the trees down in parallel: the home sends one Inv
+// per root, invalidations fan down the trees, acknowledgments aggregate
+// bottom-up, and each odd-indexed root acknowledges to its even-indexed
+// sibling instead of the home, so the home receives at most ceil(m/2)
+// acknowledgments for m roots (the paper's Figure 7 optimization).
+//
+// Replacement of a valid line silently tears down the subtree below it
+// with unacknowledged Replace_INV messages and never informs the home;
+// the resulting dangling pointers are tolerated by having every cache
+// acknowledge every Inv it receives, forwarding to children only on the
+// Valid/Exclusive -> Invalid transition.
+package core
+
+import (
+	"fmt"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+type dirState uint8
+
+const (
+	uncached dirState = iota
+	shared
+	dirty
+)
+
+// slot is one directory pointer: a tree root and that tree's height.
+type slot struct {
+	node  coherent.NodeID
+	level int
+}
+
+type entry struct {
+	state dirState
+	slots []slot
+	owner coherent.NodeID
+	pend  *pending
+}
+
+type stage uint8
+
+const (
+	stageWb stage = iota + 1
+	stageInv
+)
+
+type pending struct {
+	req      *coherent.Msg
+	stage    stage
+	wbFrom   coherent.NodeID
+	acksLeft int
+}
+
+// treeMeta is the per-line protocol metadata: forward child pointers.
+type treeMeta struct {
+	children []coherent.NodeID
+}
+
+// aggKey identifies one node's position in one invalidation wave.
+type aggKey struct {
+	n coherent.NodeID
+	b coherent.BlockID
+}
+
+// agg tracks bottom-up acknowledgment aggregation at a cache. Sibling
+// acks may arrive before the node's own Inv (the paths differ), so
+// left can go negative while !armed.
+type agg struct {
+	armed bool
+	left  int
+	to    coherent.NodeID
+	toDir bool
+}
+
+// Engine implements Dir_iTree_k for one machine.
+type Engine struct {
+	ptrs    int // i
+	arity   int // k
+	opts    Options
+	entries map[coherent.BlockID]*entry
+	aggs    map[aggKey]*agg
+	// tombs retains the child pointers of lines that died without
+	// acknowledged coverage (replacement, Replace_INV) — a small victim
+	// buffer. An ack-bearing Inv reaching such a dead node routes down
+	// the tombstone so a write wave racing an in-flight teardown still
+	// covers (and waits for) every copy below; per-pair FIFO delivery
+	// guarantees the teardown precedes the wave on each edge. This
+	// closes a sequential-consistency hole the paper's silent
+	// replacement scheme leaves open (see DESIGN.md §4.2).
+	tombs map[aggKey][]coherent.NodeID
+}
+
+// Options tune protocol variants for ablation studies and extensions.
+type Options struct {
+	// NoSiblingAck disables the paper's Figure 7 optimization: every
+	// root acknowledges the home directly instead of odd-indexed roots
+	// acknowledging their even-indexed siblings. Used to measure how
+	// much the home-offload pairing actually buys.
+	NoSiblingAck bool
+	// Update selects the update-based variant the paper mentions but
+	// does not evaluate ("the write operation can be implemented by
+	// employing either an invalidation or an update protocol"): writes
+	// push the new value down the trees instead of tearing them down,
+	// sharers keep their copies, and no line is ever exclusive. The
+	// sharing trees persist across writes, so repeated
+	// producer-consumer traffic avoids the re-miss storm at the cost of
+	// updating every copy on every write.
+	Update bool
+}
+
+// NewWithOptions returns a Dir_iTree_k engine with protocol variant
+// options for ablation studies.
+func NewWithOptions(i, k int, opts Options) *Engine {
+	e := New(i, k)
+	e.opts = opts
+	return e
+}
+
+// New returns a Dir_iTree_k engine with i directory pointers and k-ary
+// trees. The paper's headline configuration is New(4, 2).
+func New(i, k int) *Engine {
+	if i < 1 {
+		panic(fmt.Sprintf("core: need at least 1 directory pointer, got %d", i))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: tree arity must be >= 1, got %d", k))
+	}
+	return &Engine{
+		ptrs:    i,
+		arity:   k,
+		entries: make(map[coherent.BlockID]*entry),
+		aggs:    make(map[aggKey]*agg),
+		tombs:   make(map[aggKey][]coherent.NodeID),
+	}
+}
+
+// Name implements coherent.Engine ("Dir4Tree2", ...).
+func (e *Engine) Name() string {
+	if e.opts.Update {
+		return fmt.Sprintf("Dir%dTree%dU", e.ptrs, e.arity)
+	}
+	return fmt.Sprintf("Dir%dTree%d", e.ptrs, e.arity)
+}
+
+// UpdatesCopies implements coherent.UpdateProtocol.
+func (e *Engine) UpdatesCopies() bool { return e.opts.Update }
+
+// Pointers returns i.
+func (e *Engine) Pointers() int { return e.ptrs }
+
+// Arity returns k.
+func (e *Engine) Arity() int { return e.arity }
+
+func (e *Engine) entry(b coherent.BlockID) *entry {
+	en := e.entries[b]
+	if en == nil {
+		en = &entry{owner: coherent.NoNode}
+		e.entries[b] = en
+	}
+	return en
+}
+
+func (en *entry) slotOf(n coherent.NodeID) int {
+	for i, s := range en.slots {
+		if s.node == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// StartMiss implements coherent.Engine.
+func (e *Engine) StartMiss(m *coherent.Machine, txn *coherent.Txn) {
+	typ := coherent.MsgReadReq
+	upgrade := false
+	if txn.Write {
+		typ = coherent.MsgWriteReq
+		// An upgrade (the writer already holds a valid copy) tells the
+		// update variant's home not to re-record the writer: it already
+		// has a forest position, which it keeps.
+		if ln := m.Nodes[txn.Node].Cache.Lookup(txn.Block); ln != nil && ln == txn.Line && ln.State == cache.Valid {
+			upgrade = true
+		}
+	}
+	m.Send(&coherent.Msg{
+		Type: typ, Src: txn.Node, Dst: m.Home(txn.Block), Block: txn.Block,
+		Requester: txn.Node, Data: txn.Value, HasData: txn.Write, Write: upgrade,
+		ToDir: true, Gated: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// HomeRequest implements coherent.Engine.
+func (e *Engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	switch msg.Type {
+	case coherent.MsgReadReq:
+		if en.state == dirty && en.owner != msg.Requester {
+			en.pend = &pending{req: msg, stage: stageWb, wbFrom: en.owner}
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgWbReq, Src: m.Home(msg.Block), Dst: en.owner,
+				Block: msg.Block, Requester: msg.Requester, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+			return
+		}
+		e.admitRead(m, en, msg)
+	case coherent.MsgWriteReq:
+		m.SerializeWrite(msg)
+		if en.state == dirty && en.owner != msg.Requester {
+			en.pend = &pending{req: msg, stage: stageWb, wbFrom: en.owner}
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgWbReq, Src: m.Home(msg.Block), Dst: en.owner,
+				Block: msg.Block, Requester: msg.Requester, Write: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+			return
+		}
+		e.startInvalidation(m, en, msg)
+	default:
+		panic("core: unexpected gated request " + msg.Type.String())
+	}
+}
+
+// admitRead runs the paper's Figure 6 read-miss directory algorithm and
+// serves the data, piggybacking any adopted roots as Ptrs.
+func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
+	req := msg.Requester
+	handoff := e.record(m, en, req)
+	if en.state == uncached {
+		en.state = shared
+	}
+	b := msg.Block
+	m.ReadMem(func() {
+		if txn := m.Txn(req, b); txn != nil && !txn.Write {
+			// The reply (possibly carrying adopted children) is now in
+			// flight; invalidations that race it must be deferred.
+			txn.Served = true
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgDataReply, Src: m.Home(b), Dst: req, Block: b,
+			Requester: req, HasData: true, Data: m.Store.Value(b),
+			Ptrs: handoff, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		m.ReleaseHome(b)
+	})
+}
+
+// record applies the paper's Figure 6 pointer algorithm for a new
+// sharer and returns the roots the sharer must adopt as children. A nil
+// machine is allowed (analytical use in tests): only counters depend on
+// it.
+func (e *Engine) record(m *coherent.Machine, en *entry, req coherent.NodeID) []coherent.NodeID {
+	var handoff []coherent.NodeID
+	switch {
+	case en.slotOf(req) >= 0:
+		// Case 1: already recorded (typically a re-read after a silent
+		// replacement). No pointer manipulation.
+	case len(en.slots) < e.ptrs:
+		// Case 2: free pointer.
+		en.slots = append(en.slots, slot{node: req, level: 1})
+	default:
+		// Overflow: look for the lowest level present at least twice.
+		if li := e.equalPair(en); li >= 0 {
+			// Case 3: the requester adopts up to k equal-height trees;
+			// one slot is re-pointed one level up, the others free.
+			if m != nil {
+				m.Ctr.TreeMerges++
+			}
+			lvl := en.slots[li].level
+			kept := make([]slot, 0, len(en.slots))
+			for _, s := range en.slots {
+				if s.level == lvl && len(handoff) < e.arity && len(handoff) < 2 {
+					handoff = append(handoff, s.node)
+					continue
+				}
+				kept = append(kept, s)
+			}
+			kept = append(kept, slot{node: req, level: lvl + 1})
+			en.slots = kept
+		} else {
+			// Case 4: adopt the single lowest tree.
+			if m != nil {
+				m.Ctr.TreeAdoptions++
+			}
+			low := 0
+			for i, s := range en.slots {
+				if s.level < en.slots[low].level {
+					low = i
+				}
+			}
+			handoff = append(handoff, en.slots[low].node)
+			en.slots[low] = slot{node: req, level: en.slots[low].level + 1}
+		}
+	}
+	return handoff
+}
+
+// equalPair returns the index of a slot whose level appears at least
+// twice (choosing the lowest such level), or -1.
+func (e *Engine) equalPair(en *entry) int {
+	best := -1
+	for i, s := range en.slots {
+		count := 0
+		for _, t := range en.slots {
+			if t.level == s.level {
+				count++
+			}
+		}
+		if count >= 2 && (best < 0 || s.level < en.slots[best].level) {
+			best = i
+		}
+	}
+	return best
+}
+
+// startInvalidation launches the paper's Figure 7 write-miss flow: one
+// Inv per root, odd roots acknowledging to their even siblings. The
+// update variant sends Update messages carrying the value instead.
+func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent.Msg) {
+	b := msg.Block
+	home := m.Home(b)
+	pend := &pending{req: msg, stage: stageInv, wbFrom: coherent.NoNode}
+	en.pend = pend
+	waveType := coherent.MsgInv
+	if e.opts.Update {
+		waveType = coherent.MsgUpdate
+	}
+	// A level-1 slot is provably a childless singleton (children are
+	// only handed out when a slot is created at level >= 2), so when it
+	// names the requester itself the round trip can be skipped — the
+	// writer's own copy is superseded by the grant. Requester slots at
+	// higher levels stay in the wave: their subtrees need invalidating.
+	roots := make([]slot, 0, len(en.slots))
+	for _, s := range en.slots {
+		if s.node == msg.Requester && s.level == 1 {
+			continue
+		}
+		roots = append(roots, s)
+	}
+	for idx, s := range roots {
+		inv := &coherent.Msg{
+			Type: waveType, Src: home, Dst: s.node, Block: b,
+			Requester: msg.Requester, HasData: e.opts.Update, Data: msg.Data,
+			Aux: coherent.NoNode,
+		}
+		switch {
+		case e.opts.NoSiblingAck:
+			// Ablation variant: every root acks the home.
+			inv.AckTo = home
+			inv.AckDir = true
+			pend.acksLeft++
+		case idx%2 == 0:
+			// Even root: acks home, and absorbs its odd sibling's ack
+			// if one exists.
+			inv.AckTo = home
+			inv.AckDir = true
+			inv.SibAck = idx+1 < len(roots)
+			pend.acksLeft++
+		default:
+			// Odd root: acks its even sibling.
+			inv.AckTo = roots[idx-1].node
+			inv.AckDir = false
+		}
+		m.Ctr.Invalidations++
+		m.Send(inv)
+	}
+	if pend.acksLeft == 0 {
+		e.grantWrite(m, en, msg)
+	}
+}
+
+func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
+	b := msg.Block
+	en.pend = nil
+	var handoff []coherent.NodeID
+	if e.opts.Update {
+		// The sharing trees survive and the writer keeps a shared copy.
+		// An upgrading writer already has a forest position (leaf or
+		// root) and keeps it untouched; only a forest-absent writer is
+		// recorded like a new reader.
+		en.state = shared
+		if !msg.Write {
+			handoff = e.record(m, en, msg.Requester)
+		}
+	} else {
+		en.state = dirty
+		en.owner = msg.Requester
+		en.slots = []slot{{node: msg.Requester, level: 1}}
+	}
+	m.ReadMem(func() {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+			Ptrs: handoff, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	})
+}
+
+// HomeMsg implements coherent.Engine.
+func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	switch msg.Type {
+	case coherent.MsgInvAck:
+		m.Ctr.InvAcks++
+		p := en.pend
+		if p == nil || p.stage != stageInv || p.acksLeft <= 0 {
+			panic("core: unexpected InvAck at home")
+		}
+		p.acksLeft--
+		if p.acksLeft == 0 {
+			e.grantWrite(m, en, p.req)
+		}
+	case coherent.MsgWbData:
+		m.Ctr.Writebacks++
+		m.Store.WritebackValue(msg.Block, msg.Data)
+		if en.owner == msg.Src {
+			en.owner = coherent.NoNode
+			en.state = shared
+			if len(en.slots) == 0 {
+				en.state = uncached
+			}
+		}
+		if p := en.pend; p != nil && p.stage == stageWb && p.wbFrom == msg.Src {
+			req := p.req
+			en.pend = nil
+			// On an RM_WW recall the demoted owner keeps a shared copy
+			// and stays recorded in its slot; on WM_WW it was
+			// invalidated but the stale slot is harmlessly swept by the
+			// upcoming invalidation round.
+			if req.Type == coherent.MsgReadReq {
+				e.admitRead(m, en, req)
+			} else {
+				e.startInvalidation(m, en, req)
+			}
+		}
+	default:
+		panic("core: unexpected home message " + msg.Type.String())
+	}
+}
+
+// CacheMsg implements coherent.Engine.
+func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
+	n := msg.Dst
+	node := m.Nodes[n]
+	switch msg.Type {
+	case coherent.MsgDataReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("core: DataReply without matching read txn")
+		}
+		meta := &treeMeta{}
+		if len(msg.Ptrs) > 0 {
+			meta.children = append(meta.children, msg.Ptrs...)
+		}
+		m.CompleteTxn(txn, cache.Valid, msg.Data, meta)
+	case coherent.MsgWriteReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || !txn.Write {
+			panic("core: WriteReply without matching write txn")
+		}
+		if e.opts.Update {
+			// An upgrading writer keeps its forest position: preserve
+			// the children of the prior tree position (the home cannot
+			// see leaf edges, so dropping them would orphan live
+			// sharers from future update waves). A forest-absent writer
+			// adopts whatever roots the home handed it.
+			meta := &treeMeta{}
+			if len(msg.Ptrs) > 0 {
+				meta.children = append(meta.children, msg.Ptrs...)
+			} else {
+				for _, c := range childrenOf(txn.Line) {
+					if c != n {
+						meta.children = append(meta.children, c)
+					}
+				}
+			}
+			m.CompleteTxn(txn, cache.Valid, txn.Value, meta)
+		} else {
+			m.CompleteTxn(txn, cache.Exclusive, txn.Value, &treeMeta{})
+		}
+		m.ReleaseHome(msg.Block)
+	case coherent.MsgInv, coherent.MsgUpdate:
+		e.onInv(m, node, msg)
+	case coherent.MsgInvAck:
+		e.onCacheAck(m, n, msg)
+	case coherent.MsgReplaceInv:
+		ln := node.Cache.Lookup(msg.Block)
+		if ln == nil || ln.State == cache.Invalid {
+			return // dangling edge; subtree already gone
+		}
+		children := childrenOf(ln)
+		node.Cache.Invalidate(msg.Block)
+		e.mergeTombs(aggKey{n, msg.Block}, children)
+		e.sendReplaceInv(m, n, msg.Block, children)
+	case coherent.MsgWbReq:
+		ln := node.Cache.Lookup(msg.Block)
+		if ln == nil || ln.State != cache.Exclusive {
+			return // voluntary writeback already ahead of us
+		}
+		data := ln.Val
+		if msg.Write {
+			node.Cache.Invalidate(msg.Block)
+		} else {
+			ln.State = cache.Valid
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
+			HasData: true, Data: data, Write: !msg.Write, ToDir: true,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	default:
+		panic("core: unexpected cache message " + msg.Type.String())
+	}
+}
+
+// onInv handles one invalidation at a cache: invalidate the local copy
+// if present, fan out to children, and aggregate acknowledgments toward
+// msg.AckTo.
+func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.Msg) {
+	n := node.ID
+	if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
+		// Our data reply — which may carry children we must forward
+		// this invalidation to — is in flight. Defer until it installs;
+		// the wave cannot deadlock because the reply does not depend on
+		// the home gate the writer holds.
+		txn.Deferred = append(txn.Deferred, msg)
+		return
+	}
+	key := aggKey{n: n, b: msg.Block}
+	a := e.aggs[key]
+	if a != nil && a.armed {
+		// A second Inv in the same wave (dangling edge): acknowledge it
+		// independently without disturbing the aggregation.
+		e.sendAck(m, n, msg)
+		return
+	}
+	if a == nil {
+		a = &agg{}
+		e.aggs[key] = a
+	}
+	a.armed = true
+	a.to = msg.AckTo
+	a.toDir = msg.AckDir
+	if msg.SibAck {
+		a.left++
+	}
+	update := msg.Type == coherent.MsgUpdate
+	var fanout []coherent.NodeID
+	if ln := node.Cache.Lookup(msg.Block); ln != nil && ln.State != cache.Invalid {
+		fanout = append(fanout, childrenOf(ln)...)
+		if update {
+			ln.Val = msg.Data
+		} else {
+			node.Cache.Invalidate(msg.Block)
+		}
+	}
+	if t, ok := e.tombs[key]; ok {
+		// A teardown from this node's previous tenure may still be in
+		// flight below: route the wave down the victim-buffer pointers
+		// too, so it covers (and waits for) every copy the Replace_INV
+		// has not yet reached.
+		for _, c := range t {
+			dup := false
+			for _, f := range fanout {
+				if f == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fanout = append(fanout, c)
+			}
+		}
+		if !update {
+			// Update waves must keep routing through the victim buffer
+			// on every write: torn-down positions stay reachable from
+			// the persistent sharing trees.
+			delete(e.tombs, key)
+		}
+	}
+	for _, c := range fanout {
+		a.left++
+		m.Ctr.Invalidations++
+		m.Send(&coherent.Msg{
+			Type: msg.Type, Src: n, Dst: c, Block: msg.Block,
+			Requester: msg.Requester, HasData: update, Data: msg.Data,
+			AckTo: n, Aux: coherent.NoNode,
+		})
+	}
+	e.maybeFinishAgg(m, key, a)
+}
+
+// onCacheAck handles a child's or sibling's acknowledgment arriving at
+// an aggregating cache. It may precede the node's own Inv (sibling acks
+// travel a different path), in which case it is banked.
+func (e *Engine) onCacheAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
+	m.Ctr.InvAcks++
+	key := aggKey{n: n, b: msg.Block}
+	a := e.aggs[key]
+	if a == nil {
+		a = &agg{}
+		e.aggs[key] = a
+	}
+	a.left--
+	e.maybeFinishAgg(m, key, a)
+}
+
+func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
+	if !a.armed || a.left != 0 {
+		return
+	}
+	delete(e.aggs, key)
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgInvAck, Src: key.n, Dst: a.to, Block: key.b,
+		ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// sendAck acknowledges msg immediately (dangling-edge case).
+func (e *Engine) sendAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgInvAck, Src: n, Dst: msg.AckTo, Block: msg.Block,
+		ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// mergeTombs unions children into the victim buffer for key; pointers
+// from different cache tenures may both have teardowns in flight.
+func (e *Engine) mergeTombs(key aggKey, children []coherent.NodeID) {
+	if len(children) == 0 {
+		return
+	}
+	cur := e.tombs[key]
+	for _, c := range children {
+		dup := false
+		for _, t := range cur {
+			if t == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cur = append(cur, c)
+		}
+	}
+	e.tombs[key] = cur
+}
+
+func childrenOf(ln *cache.Line) []coherent.NodeID {
+	if meta, ok := ln.Meta.(*treeMeta); ok && meta != nil {
+		return meta.children
+	}
+	return nil
+}
+
+func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, children []coherent.NodeID) {
+	for _, c := range children {
+		m.Ctr.ReplaceInvs++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgReplaceInv, Src: n, Dst: c, Block: b,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
+}
+
+// OnEvict implements coherent.Engine: a valid line's subtree is torn
+// down with Replace_INV (no acks, no home notification); an exclusive
+// line writes back. The child pointers stay in the victim buffer until
+// the next install or invalidation sweep (see Engine.tombs).
+func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	switch ln.State {
+	case cache.Valid:
+		e.mergeTombs(aggKey{n, ln.Block}, childrenOf(ln))
+		e.sendReplaceInv(m, n, ln.Block, childrenOf(ln))
+	case cache.Exclusive:
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
+			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
+}
+
+// DirectoryBits implements coherent.Engine using the paper's formula
+// B·n·2i·log n (directory pointers + levels) + C·k·log n (cache child
+// pointers).
+func (e *Engine) DirectoryBits(cfg coherent.Config, blocksPerNode int) int64 {
+	n := int64(cfg.Procs)
+	logn := int64(ceilLog2(cfg.Procs))
+	dirBits := int64(blocksPerNode) * n * 2 * int64(e.ptrs) * logn
+	cacheBits := int64(cfg.CacheLines()) * n * int64(e.arity) * logn
+	return dirBits + cacheBits
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}

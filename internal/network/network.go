@@ -1,0 +1,184 @@
+// Package network models a wormhole-routed interconnect at message
+// granularity.
+//
+// The model follows the paper's Table 5: 8-bit (one byte) phits, one
+// cycle of switch/wire delay per hop, and network interfaces that
+// inject and eject one phit per cycle. A message of L bytes crossing H
+// hops therefore has an unloaded latency of
+//
+//	L (injection) pipelined with H hops of head latency + L at ejection
+//	≈ H·hopDelay + L cycles,
+//
+// plus any time spent waiting for busy resources. Three resources are
+// serially reusable: the source NI's injection port, each directed link
+// on the route, and the destination NI's ejection port. Each is busy
+// for L cycles per message (the body streaming through), which is what
+// produces the full-map protocol's "sequential invalidation" behavior
+// at a hot home node — the effect the paper's tree fan-out removes.
+//
+// This is an approximation of flit-level wormhole switching: a blocked
+// head here waits at the link rather than stalling the worm in place
+// across all earlier links. The approximation preserves per-link
+// bandwidth limits, pipelining, and hot-spot serialization, which are
+// the properties the protocol comparison depends on.
+package network
+
+import (
+	"fmt"
+
+	"dircc/internal/sim"
+	"dircc/internal/stats"
+	"dircc/internal/topology"
+)
+
+// Config sets the link and interface timing parameters.
+type Config struct {
+	// PhitBytes is the link width in bytes; Table 5 uses 1 (8 bits).
+	PhitBytes int
+	// HopDelay is the switch+wire delay per hop in cycles (Table 5: 1).
+	HopDelay sim.Time
+	// LocalDelay is the cost of a node sending a message to itself
+	// (through its own NI loopback).
+	LocalDelay sim.Time
+}
+
+// DefaultConfig returns the paper's Table 5 network parameters.
+func DefaultConfig() Config {
+	return Config{PhitBytes: 1, HopDelay: 1, LocalDelay: 1}
+}
+
+func (c Config) validate() error {
+	if c.PhitBytes < 1 {
+		return fmt.Errorf("network: PhitBytes must be >= 1, got %d", c.PhitBytes)
+	}
+	if c.HopDelay < 1 {
+		return fmt.Errorf("network: HopDelay must be >= 1, got %d", c.HopDelay)
+	}
+	if c.LocalDelay < 1 {
+		return fmt.Errorf("network: LocalDelay must be >= 1, got %d", c.LocalDelay)
+	}
+	return nil
+}
+
+// Network simulates message transport over a Topology.
+type Network struct {
+	eng  *sim.Engine
+	topo topology.Topology
+	cfg  Config
+
+	// nextFree times for each serially reusable resource.
+	linkFree   []sim.Time
+	injectFree []sim.Time
+	ejectFree  []sim.Time
+
+	// accounting
+	sent, delivered uint64
+	counters        *stats.Counters
+}
+
+// New builds a network over topo driven by eng, recording traffic into
+// counters (which may be shared with the machine).
+func New(eng *sim.Engine, topo topology.Topology, cfg Config, counters *stats.Counters) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	n := &Network{
+		eng:        eng,
+		topo:       topo,
+		cfg:        cfg,
+		linkFree:   make([]sim.Time, len(topo.Links())),
+		injectFree: make([]sim.Time, topo.Nodes()),
+		ejectFree:  make([]sim.Time, topo.Nodes()),
+		counters:   counters,
+	}
+	return n, nil
+}
+
+// InFlight reports the number of messages sent but not yet delivered.
+func (n *Network) InFlight() uint64 { return n.sent - n.delivered }
+
+// Sent returns the total number of messages accepted for transport.
+func (n *Network) Sent() uint64 { return n.sent }
+
+// serviceBytes returns the cycles a resource is busy streaming a
+// message of the given size.
+func (n *Network) serviceBytes(bytes int) sim.Time {
+	phits := (bytes + n.cfg.PhitBytes - 1) / n.cfg.PhitBytes
+	if phits < 1 {
+		phits = 1
+	}
+	return sim.Time(phits)
+}
+
+// Send transports a message of the given size from src to dst and runs
+// deliver at the arrival instant. typ labels the message for per-type
+// statistics. Send never blocks; all waiting happens in simulated time.
+func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver func()) {
+	if deliver == nil {
+		panic("network: Send with nil deliver")
+	}
+	if bytes < 1 {
+		panic(fmt.Sprintf("network: message %q has non-positive size %d", typ, bytes))
+	}
+	n.sent++
+	svc := n.serviceBytes(bytes)
+	now := n.eng.Now()
+	route := n.topo.Route(src, dst)
+	n.counters.CountMsg(typ, bytes, len(route))
+
+	if len(route) == 0 {
+		// Local delivery still pays NI loopback latency and occupancy.
+		start := maxTime(now, n.injectFree[src])
+		n.injectFree[src] = start + svc
+		arrive := start + n.cfg.LocalDelay + svc
+		n.eng.At(arrive, func() {
+			n.delivered++
+			deliver()
+		})
+		return
+	}
+
+	// Head departs the source NI once the injection port frees up.
+	head := maxTime(now, n.injectFree[src])
+	n.injectFree[src] = head + svc
+
+	// The head advances one hop per HopDelay, waiting at any link whose
+	// previous occupant's tail has not yet passed. Each link is then
+	// busy for svc cycles (the body streaming through behind the head).
+	for _, lid := range route {
+		head = maxTime(head+n.cfg.HopDelay, n.linkFree[lid])
+		n.linkFree[lid] = head + svc
+	}
+
+	// Ejection at the destination NI: the tail arrives svc cycles after
+	// the head starts draining, and the ejection port is busy meanwhile.
+	ejectStart := maxTime(head, n.ejectFree[dst])
+	n.ejectFree[dst] = ejectStart + svc
+	arrive := ejectStart + svc
+	n.eng.At(arrive, func() {
+		n.delivered++
+		deliver()
+	})
+}
+
+// UnloadedLatency returns the latency in cycles of a message of the
+// given size between src and dst on an idle network. Useful for
+// analytic sanity checks and tests.
+func (n *Network) UnloadedLatency(src, dst topology.NodeID, bytes int) sim.Time {
+	svc := n.serviceBytes(bytes)
+	if src == dst {
+		return n.cfg.LocalDelay + svc
+	}
+	hops := sim.Time(n.topo.Distance(src, dst))
+	return hops*n.cfg.HopDelay + svc
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

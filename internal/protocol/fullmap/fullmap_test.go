@@ -1,0 +1,123 @@
+package fullmap
+
+import (
+	"testing"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+	"dircc/internal/protocol/ptest"
+)
+
+func TestConformance(t *testing.T) {
+	ptest.Conformance(t, func() coherent.Engine { return New() })
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "fm" {
+		t.Fatal("name")
+	}
+}
+
+func TestDirectoryBits(t *testing.T) {
+	cfg := coherent.DefaultConfig(32)
+	e := New()
+	// B·n² presence + B·n dirty: 100 blocks/node, 32 nodes.
+	want := int64(100*32*32 + 100*32)
+	if got := e.DirectoryBits(cfg, 100); got != want {
+		t.Fatalf("DirectoryBits = %d, want %d", got, want)
+	}
+}
+
+// Read miss on an uncached block must cost exactly 2 protocol messages.
+func TestReadMissTwoMessages(t *testing.T) {
+	cfg := coherent.DefaultConfig(4)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		if e.ID() == 1 {
+			e.Read(addr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ctr.Messages != 2 {
+		t.Fatalf("read miss used %d messages, want 2 (req + reply)", m.Ctr.Messages)
+	}
+	if m.Ctr.MsgByType["ReadReq"] != 1 || m.Ctr.MsgByType["DataReply"] != 1 {
+		t.Fatalf("message types wrong: %v", m.Ctr.MsgByType)
+	}
+}
+
+// A write miss with P sharers costs 2P+2 messages (request, P inv,
+// P ack, reply).
+func TestWriteMissInvalidatesAllSharers(t *testing.T) {
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		// Processors 1..7 share the block; processor 0 then writes.
+		if e.ID() != 0 {
+			e.Read(addr)
+		}
+		e.Barrier()
+		if e.ID() == 0 {
+			e.Write(addr, 99)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const p = 7
+	if m.Ctr.Invalidations != p {
+		t.Fatalf("sent %d invalidations, want %d", m.Ctr.Invalidations, p)
+	}
+	if m.Ctr.InvAcks != p {
+		t.Fatalf("collected %d acks, want %d", m.Ctr.InvAcks, p)
+	}
+	// Total: 7 read misses (2 msgs each) + write (1 req + 7 inv + 7 ack + 1 reply).
+	want := uint64(7*2 + 2 + 2*p)
+	if m.Ctr.Messages != want {
+		t.Fatalf("total messages %d, want %d", m.Ctr.Messages, want)
+	}
+}
+
+// A read miss on a dirty block triggers the RM_WW writeback recall and
+// the owner keeps a demoted shared copy.
+func TestReadMissOnDirtyBlockRecalls(t *testing.T) {
+	cfg := coherent.DefaultConfig(4)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	var got uint64
+	if _, err := proc.Run(m, func(e proc.Env) {
+		if e.ID() == 0 {
+			e.Write(addr, 1234)
+		}
+		e.Barrier()
+		if e.ID() == 1 {
+			got = e.Read(addr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1234 {
+		t.Fatalf("read %d, want 1234", got)
+	}
+	if m.Ctr.MsgByType["WbReq"] != 1 || m.Ctr.MsgByType["WbData"] != 1 {
+		t.Fatalf("recall messages wrong: %v", m.Ctr.MsgByType)
+	}
+}
+
+func BenchmarkFullMapMix(b *testing.B) {
+	ptest.BenchmarkMix(b, func() coherent.Engine { return New() })
+}

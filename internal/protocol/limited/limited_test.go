@@ -1,0 +1,152 @@
+package limited
+
+import (
+	"fmt"
+	"testing"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+	"dircc/internal/protocol/ptest"
+)
+
+func TestConformanceNB(t *testing.T) {
+	for _, i := range []int{1, 2, 4, 8} {
+		i := i
+		t.Run(fmt.Sprintf("Dir%dNB", i), func(t *testing.T) {
+			ptest.Conformance(t, func() coherent.Engine { return NewNB(i) })
+		})
+	}
+}
+
+func TestConformanceB(t *testing.T) {
+	for _, i := range []int{1, 4} {
+		i := i
+		t.Run(fmt.Sprintf("Dir%dB", i), func(t *testing.T) {
+			ptest.Conformance(t, func() coherent.Engine { return NewB(i) })
+		})
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewNB(4).Name() != "Dir4NB" {
+		t.Error("NB name wrong")
+	}
+	if NewB(2).Name() != "Dir2B" {
+		t.Error("B name wrong")
+	}
+	if NewNB(3).Pointers() != 3 {
+		t.Error("Pointers() wrong")
+	}
+}
+
+func TestNewPanicsOnZeroPointers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNB(0) did not panic")
+		}
+	}()
+	NewNB(0)
+}
+
+// With i=2 and 4 sharers, Dir_iNB must evict pointers on overflow.
+func TestNBPointerOverflowEvicts(t *testing.T) {
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, NewNB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		if e.ID() < 4 {
+			// Serialize the four readers so overflow order is fixed.
+			for turn := 0; turn < 4; turn++ {
+				if turn == e.ID() {
+					e.Read(addr)
+				}
+				e.Barrier()
+			}
+		} else {
+			for turn := 0; turn < 4; turn++ {
+				e.Barrier()
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ctr.PointerEvicts != 2 {
+		t.Fatalf("pointer evictions = %d, want 2 (readers 3 and 4 overflow)", m.Ctr.PointerEvicts)
+	}
+	if m.Ctr.Invalidations != 2 {
+		t.Fatalf("eviction invalidations = %d, want 2", m.Ctr.Invalidations)
+	}
+}
+
+// Dir_iB write miss after overflow must broadcast to all n-1 others.
+func TestBroadcastOnOverflow(t *testing.T) {
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, NewB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		if e.ID() < 4 {
+			e.Read(addr) // 4 readers overflow 2 pointers -> broadcast bit
+		}
+		e.Barrier()
+		if e.ID() == 7 {
+			e.Write(addr, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ctr.Broadcasts != 1 {
+		t.Fatalf("broadcast rounds = %d, want 1", m.Ctr.Broadcasts)
+	}
+	if m.Ctr.Invalidations != 7 {
+		t.Fatalf("broadcast invalidations = %d, want 7 (all but the writer)", m.Ctr.Invalidations)
+	}
+}
+
+// Without overflow, Dir_iB behaves exactly like a pointer scheme: only
+// the recorded sharers receive invalidations.
+func TestBNoOverflowTargetsPointersOnly(t *testing.T) {
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, NewB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		if e.ID() < 3 {
+			e.Read(addr)
+		}
+		e.Barrier()
+		if e.ID() == 7 {
+			e.Write(addr, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ctr.Broadcasts != 0 {
+		t.Fatalf("broadcasts = %d, want 0", m.Ctr.Broadcasts)
+	}
+	if m.Ctr.Invalidations != 3 {
+		t.Fatalf("invalidations = %d, want 3", m.Ctr.Invalidations)
+	}
+}
+
+func TestDirectoryBits(t *testing.T) {
+	cfg := coherent.DefaultConfig(32)
+	// B·i·n·log n = 100 * 4 * 32 * 5.
+	if got, want := NewNB(4).DirectoryBits(cfg, 100), int64(100*4*32*5); got != want {
+		t.Fatalf("DirectoryBits = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkDir4NBMix(b *testing.B) {
+	ptest.BenchmarkMix(b, func() coherent.Engine { return NewNB(4) })
+}

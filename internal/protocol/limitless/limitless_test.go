@@ -1,0 +1,134 @@
+package limitless
+
+import (
+	"testing"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+	"dircc/internal/protocol/fullmap"
+	"dircc/internal/protocol/ptest"
+)
+
+func TestConformance(t *testing.T) {
+	for _, i := range []int{1, 4} {
+		i := i
+		t.Run(New(i).Name(), func(t *testing.T) {
+			ptest.Conformance(t, func() coherent.Engine { return New(i) })
+		})
+	}
+}
+
+func TestNameAndParams(t *testing.T) {
+	e := New(4)
+	if e.Name() != "LimitLESS4" || e.Pointers() != 4 || e.TrapCycles() != DefaultTrapCycles {
+		t.Fatalf("identity wrong: %s %d %d", e.Name(), e.Pointers(), e.TrapCycles())
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){func() { New(0) }, func() { NewWithTrap(4, 0) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// sharePattern builds `sharers` sequential readers then one writer and
+// returns the machine.
+func sharePattern(t *testing.T, eng coherent.Engine, procs, sharers int) *coherent.Machine {
+	t.Helper()
+	cfg := coherent.DefaultConfig(procs)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		for turn := 0; turn < sharers; turn++ {
+			if turn == e.ID() {
+				e.Read(addr)
+			}
+			e.Barrier()
+		}
+		if e.ID() == e.NProcs()-1 {
+			e.Write(addr, 3)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Unlike Dir_iNB, LimitLESS records every sharer: a write miss after 8
+// readers must send 8 invalidations even with only 4 hardware pointers.
+func TestAllSharersInvalidated(t *testing.T) {
+	m := sharePattern(t, New(4), 16, 8)
+	if m.Ctr.Invalidations != 8 {
+		t.Fatalf("invalidations = %d, want 8 (software pointers must be honored)", m.Ctr.Invalidations)
+	}
+	if m.Ctr.PointerEvicts != 4 {
+		t.Fatalf("software spills = %d, want 4 (readers 5..8)", m.Ctr.PointerEvicts)
+	}
+	if m.Ctr.Broadcasts != 1 {
+		t.Fatalf("software-assisted rounds = %d, want 1", m.Ctr.Broadcasts)
+	}
+}
+
+// No overflow, no traps: with sharers <= i the scheme must cost exactly
+// what full-map costs.
+func TestNoOverflowMatchesFullMap(t *testing.T) {
+	ll := sharePattern(t, New(4), 8, 3)
+	fm := sharePattern(t, fullmap.New(), 8, 3)
+	if ll.Ctr.Messages != fm.Ctr.Messages {
+		t.Fatalf("messages %d vs full-map %d", ll.Ctr.Messages, fm.Ctr.Messages)
+	}
+	if ll.Ctr.Cycles != fm.Ctr.Cycles {
+		t.Fatalf("cycles %d vs full-map %d (trap charged without overflow?)", ll.Ctr.Cycles, fm.Ctr.Cycles)
+	}
+	if ll.Ctr.PointerEvicts != 0 {
+		t.Fatal("spill counted without overflow")
+	}
+}
+
+// With overflow, the software handler delay must make LimitLESS slower
+// than full-map on the same pattern (the paper's Table 1 penalty).
+func TestTrapDelaySlowsOverflow(t *testing.T) {
+	ll := sharePattern(t, New(4), 16, 12)
+	fm := sharePattern(t, fullmap.New(), 16, 12)
+	if ll.Ctr.Messages != fm.Ctr.Messages {
+		t.Fatalf("message counts should match full-map: %d vs %d", ll.Ctr.Messages, fm.Ctr.Messages)
+	}
+	if ll.Ctr.Cycles <= fm.Ctr.Cycles {
+		t.Fatalf("LimitLESS (%d cycles) not slower than full-map (%d) despite 8 traps",
+			ll.Ctr.Cycles, fm.Ctr.Cycles)
+	}
+}
+
+// A larger trap cost must hurt more.
+func TestTrapCostMonotone(t *testing.T) {
+	cheap := sharePattern(t, NewWithTrap(2, 10), 16, 10)
+	dear := sharePattern(t, NewWithTrap(2, 500), 16, 10)
+	if dear.Ctr.Cycles <= cheap.Ctr.Cycles {
+		t.Fatalf("500-cycle traps (%d) not slower than 10-cycle traps (%d)",
+			dear.Ctr.Cycles, cheap.Ctr.Cycles)
+	}
+}
+
+func TestDirectoryBitsHardwareOnly(t *testing.T) {
+	cfg := coherent.DefaultConfig(32)
+	// Same as Dir_4NB: only the hardware pointers.
+	want := int64(100 * 4 * 32 * 5)
+	if got := New(4).DirectoryBits(cfg, 100); got != want {
+		t.Fatalf("DirectoryBits = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkLimitLESS4Mix(b *testing.B) {
+	ptest.BenchmarkMix(b, func() coherent.Engine { return New(4) })
+}

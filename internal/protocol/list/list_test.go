@@ -1,0 +1,204 @@
+package list
+
+import (
+	"testing"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+	"dircc/internal/protocol/ptest"
+)
+
+func TestConformanceSLL(t *testing.T) {
+	ptest.Conformance(t, func() coherent.Engine { return NewSLL() })
+}
+
+func TestConformanceSCI(t *testing.T) {
+	ptest.Conformance(t, func() coherent.Engine { return NewSCI() })
+}
+
+func TestNames(t *testing.T) {
+	if NewSLL().Name() != "sll" || NewSCI().Name() != "sci" {
+		t.Fatal("names wrong")
+	}
+}
+
+// shareThenWrite builds P sequential sharers of one block, then has a
+// non-sharer write it, returning the machine for message inspection.
+func shareThenWrite(t *testing.T, eng coherent.Engine, procs, sharers int) *coherent.Machine {
+	t.Helper()
+	cfg := coherent.DefaultConfig(procs)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	if _, err := proc.Run(m, func(e proc.Env) {
+		for turn := 0; turn < sharers; turn++ {
+			if turn == e.ID() {
+				e.Read(addr)
+			}
+			e.Barrier()
+		}
+		if e.ID() == e.NProcs()-1 {
+			e.Write(addr, 9)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Table 1: singly linked list read miss is 3 messages (2 for the first,
+// empty-list read), write miss walks the chain P+3 including the grant.
+func TestSLLMessageCounts(t *testing.T) {
+	m := shareThenWrite(t, NewSLL(), 8, 4)
+	// Reads: first 2 (empty list), next three 3 each = 11.
+	// Write: req + 4 inv + tail ack + grant = 7.
+	if got := m.Ctr.Messages; got != 11+7 {
+		t.Fatalf("total messages = %d, want 18 (types: %v)", got, m.Ctr.MsgByType)
+	}
+	if m.Ctr.MsgByType["Fwd"] != 3 || m.Ctr.MsgByType["ChainData"] != 3 {
+		t.Fatalf("forwarding counts wrong: %v", m.Ctr.MsgByType)
+	}
+	if m.Ctr.MsgByType["Inv"] != 4 || m.Ctr.MsgByType["InvAck"] != 1 {
+		t.Fatalf("chain invalidation counts wrong: %v", m.Ctr.MsgByType)
+	}
+}
+
+// Table 1: SCI read miss is 4 messages (2 when empty); write miss is
+// 2P+4 including the grant handshake.
+func TestSCIMessageCounts(t *testing.T) {
+	m := shareThenWrite(t, NewSCI(), 8, 4)
+	// Reads: 2 + 3*4 = 14. Write: req + headreply + 4*(purge+ack) +
+	// done + grant = 12.
+	if got := m.Ctr.Messages; got != 14+12 {
+		t.Fatalf("total messages = %d, want 26 (types: %v)", got, m.Ctr.MsgByType)
+	}
+	if m.Ctr.MsgByType["Purge"] != 4 || m.Ctr.MsgByType["PurgeAck"] != 4 {
+		t.Fatalf("purge counts wrong: %v", m.Ctr.MsgByType)
+	}
+}
+
+// The serial purge must take time linear in the number of sharers —
+// that is SCI's weakness the tree protocols attack.
+func TestSCISerialPurgeLatencyGrows(t *testing.T) {
+	lat := func(sharers int) uint64 {
+		m := shareThenWrite(t, NewSCI(), 16, sharers)
+		return uint64(m.Ctr.WriteMissCyc.Mean())
+	}
+	small, large := lat(2), lat(12)
+	if large < small+small/2 {
+		t.Fatalf("purging 12 copies (%d cycles) not clearly slower than 2 (%d)", large, small)
+	}
+}
+
+// A replaced SCI node must unlink itself so later purges skip it.
+func TestSCIReplacementUnlinks(t *testing.T) {
+	eng := NewSCI()
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	cfg.CacheBytes = 4 * cfg.BlockBytes
+	m, err := coherent.NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	spill := m.Alloc(16 * 8)
+	var got uint64
+	if _, err := proc.Run(m, func(e proc.Env) {
+		for turn := 0; turn < 3; turn++ {
+			if turn == e.ID() {
+				e.Read(addr)
+			}
+			e.Barrier()
+		}
+		// The middle of the list (node 1) evicts the block.
+		if e.ID() == 1 {
+			for i := 0; i < 16; i++ {
+				e.Read(spill + uint64(i*8))
+			}
+		}
+		e.Barrier()
+		if e.ID() == 5 {
+			e.Write(addr, 77)
+		}
+		e.Barrier()
+		if e.ID() == 0 {
+			got = e.Read(addr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("read %d after write over a spliced list, want 77", got)
+	}
+	if m.Ctr.MsgByType["Unlink"] == 0 {
+		t.Fatal("replacement sent no unlink traffic")
+	}
+}
+
+// A replaced SLL node tears down its suffix; the write that follows
+// must still invalidate every remaining live copy.
+func TestSLLReplacementTeardown(t *testing.T) {
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	cfg.CacheBytes = 4 * cfg.BlockBytes
+	m, err := coherent.NewMachine(cfg, NewSLL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	spill := m.Alloc(16 * 8)
+	var got uint64
+	if _, err := proc.Run(m, func(e proc.Env) {
+		for turn := 0; turn < 4; turn++ {
+			if turn == e.ID() {
+				e.Read(addr)
+			}
+			e.Barrier()
+		}
+		// Node 2 (mid-chain: list is 3->2->1->0) evicts, killing 1,0.
+		if e.ID() == 2 {
+			for i := 0; i < 16; i++ {
+				e.Read(spill + uint64(i*8))
+			}
+		}
+		e.Barrier()
+		if e.ID() == 6 {
+			e.Write(addr, 55)
+		}
+		e.Barrier()
+		if e.ID() == 3 {
+			got = e.Read(addr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Fatalf("read %d, want 55", got)
+	}
+	if m.Ctr.ReplaceInvs == 0 {
+		t.Fatal("suffix teardown sent no Replace_INV")
+	}
+}
+
+func TestDirectoryBitsFormulas(t *testing.T) {
+	cfg := coherent.DefaultConfig(32)
+	// (C+B)·n·log n for sll; (B+2C)·n·log n for sci.
+	b, c, n, logn := int64(100), int64(cfg.CacheLines()), int64(32), int64(5)
+	if got, want := NewSLL().DirectoryBits(cfg, 100), (b+c)*n*logn; got != want {
+		t.Errorf("sll bits = %d, want %d", got, want)
+	}
+	if got, want := NewSCI().DirectoryBits(cfg, 100), (b+2*c)*n*logn; got != want {
+		t.Errorf("sci bits = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkSLLMix(b *testing.B) {
+	ptest.BenchmarkMix(b, func() coherent.Engine { return NewSLL() })
+}
+
+func BenchmarkSCIMix(b *testing.B) {
+	ptest.BenchmarkMix(b, func() coherent.Engine { return NewSCI() })
+}

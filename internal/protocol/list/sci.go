@@ -1,0 +1,412 @@
+package list
+
+import (
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+// sciEntry is the SCI home state: the head pointer.
+type sciEntry struct {
+	state dirState
+	head  coherent.NodeID
+	owner coherent.NodeID
+	pend  *sciPending
+}
+
+type sciPending struct {
+	req *coherent.Msg
+}
+
+// sciMeta is the per-line doubly linked list state. prev == NoNode
+// means the line is the head (its predecessor is the home memory).
+type sciMeta struct {
+	prev, next coherent.NodeID
+}
+
+// purgeState is the writer-side cursor of the serial purge.
+type purgeState struct {
+	cur coherent.NodeID
+}
+
+type tombKey struct {
+	n coherent.NodeID
+	b coherent.BlockID
+}
+
+// SCI is the IEEE 1596 Scalable Coherent Interface doubly-linked-list
+// engine.
+//
+// Read miss: request (1), home returns the old head (1), the requester
+// attaches to the old head (1) which supplies the data (1) — 4
+// messages, 2 when the list is empty. Write miss: the writer becomes
+// head and serially purges its successors, 2 messages per copy — 2P+4
+// total including the final grant handshake.
+//
+// Replacement unlinks the node from the list with messages to both
+// neighbors. Two documented simulation liberties (DESIGN.md §6): the
+// splice takes effect atomically in simulator state (the unlink
+// messages account for traffic but real SCI resolves splice races with
+// retries we do not model), and a purge reaching a just-replaced node
+// consults a tombstone to continue down the chain.
+type SCI struct {
+	entries    map[coherent.BlockID]*sciEntry
+	tombstones map[tombKey]coherent.NodeID
+}
+
+// NewSCI returns an SCI engine.
+func NewSCI() *SCI {
+	return &SCI{
+		entries:    make(map[coherent.BlockID]*sciEntry),
+		tombstones: make(map[tombKey]coherent.NodeID),
+	}
+}
+
+// Name implements coherent.Engine.
+func (e *SCI) Name() string { return "sci" }
+
+func (e *SCI) entry(b coherent.BlockID) *sciEntry {
+	en := e.entries[b]
+	if en == nil {
+		en = &sciEntry{head: coherent.NoNode, owner: coherent.NoNode}
+		e.entries[b] = en
+	}
+	return en
+}
+
+func sciMetaOf(ln *cache.Line) *sciMeta {
+	if meta, ok := ln.Meta.(*sciMeta); ok {
+		return meta
+	}
+	return nil
+}
+
+// StartMiss implements coherent.Engine.
+func (e *SCI) StartMiss(m *coherent.Machine, txn *coherent.Txn) {
+	typ := coherent.MsgReadReq
+	if txn.Write {
+		typ = coherent.MsgWriteReq
+	}
+	m.Send(&coherent.Msg{
+		Type: typ, Src: txn.Node, Dst: m.Home(txn.Block), Block: txn.Block,
+		Requester: txn.Node, Data: txn.Value, HasData: txn.Write,
+		ToDir: true, Gated: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// HomeRequest implements coherent.Engine.
+func (e *SCI) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	b := msg.Block
+	home := m.Home(b)
+	switch msg.Type {
+	case coherent.MsgReadReq:
+		if en.head == coherent.NoNode || en.head == msg.Requester {
+			// Empty list, or the recorded head re-reading after its
+			// copy was replaced (attaching to itself would deadlock):
+			// home supplies the data directly.
+			en.state = shared
+			en.head = msg.Requester
+			m.ReadMem(func() {
+				e.markServed(m, msg.Requester, b)
+				m.Send(&coherent.Msg{
+					Type: coherent.MsgDataReply, Src: home, Dst: msg.Requester, Block: b,
+					Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+					Aux: coherent.NoNode, AckTo: coherent.NoNode,
+				})
+				m.ReleaseHome(b)
+			})
+			return
+		}
+		oldHead := en.head
+		en.head = msg.Requester
+		if en.state == dirty {
+			en.state = shared
+			en.owner = coherent.NoNode
+		}
+		e.markServed(m, msg.Requester, b)
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgHeadReply, Src: home, Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, Aux: oldHead, Data: m.Store.Value(b), AckTo: coherent.NoNode,
+		})
+		m.ReleaseHome(b)
+	case coherent.MsgWriteReq:
+		m.SerializeWrite(msg)
+		if en.head == coherent.NoNode {
+			e.grantWrite(m, en, msg)
+			return
+		}
+		en.pend = &sciPending{req: msg}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgHeadReply, Src: home, Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, Aux: en.head, Write: true, AckTo: coherent.NoNode,
+		})
+	default:
+		panic("list/sci: unexpected gated request " + msg.Type.String())
+	}
+}
+
+func (e *SCI) markServed(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID) {
+	if txn := m.Txn(n, b); txn != nil && !txn.Write {
+		txn.Served = true
+	}
+}
+
+func (e *SCI) grantWrite(m *coherent.Machine, en *sciEntry, msg *coherent.Msg) {
+	b := msg.Block
+	en.pend = nil
+	en.state = dirty
+	en.owner = msg.Requester
+	en.head = msg.Requester
+	m.ReadMem(func() {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	})
+}
+
+// HomeMsg implements coherent.Engine.
+func (e *SCI) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	switch msg.Type {
+	case coherent.MsgDone:
+		// The writer finished its serial purge.
+		if en.pend == nil {
+			panic("list/sci: Done without a pending write")
+		}
+		e.grantWrite(m, en, en.pend.req)
+	case coherent.MsgWbData:
+		m.Ctr.Writebacks++
+		m.Store.WritebackValue(msg.Block, msg.Data)
+		if en.owner == msg.Src {
+			en.owner = coherent.NoNode
+			if msg.Write {
+				en.state = shared
+			} else if en.head == msg.Src {
+				en.head = coherent.NoNode
+				en.state = uncached
+			} else {
+				en.state = shared
+			}
+		}
+	case coherent.MsgUnlink:
+		// A replaced head already spliced itself out in simulator
+		// state; the message accounts for the traffic.
+	default:
+		panic("list/sci: unexpected home message " + msg.Type.String())
+	}
+}
+
+// CacheMsg implements coherent.Engine.
+func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
+	n := msg.Dst
+	node := m.Nodes[n]
+	switch msg.Type {
+	case coherent.MsgDataReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("list/sci: DataReply without matching read txn")
+		}
+		delete(e.tombstones, tombKey{n, msg.Block})
+		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: coherent.NoNode})
+	case coherent.MsgWriteReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || !txn.Write {
+			panic("list/sci: WriteReply without matching write txn")
+		}
+		delete(e.tombstones, tombKey{n, msg.Block})
+		m.CompleteTxn(txn, cache.Exclusive, txn.Value, &sciMeta{prev: coherent.NoNode, next: coherent.NoNode})
+		m.ReleaseHome(msg.Block)
+	case coherent.MsgHeadReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil {
+			panic("list/sci: HeadReply without matching txn")
+		}
+		if msg.Write {
+			e.startPurge(m, txn, msg.Aux)
+			return
+		}
+		// Attach to the old head.
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgFwd, Src: n, Dst: msg.Aux, Block: msg.Block,
+			Requester: n, Data: msg.Data, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	case coherent.MsgFwd:
+		// New head attaching: record it as our predecessor and supply
+		// the data.
+		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
+			txn.Deferred = append(txn.Deferred, msg)
+			return
+		}
+		ln := node.Cache.Lookup(msg.Block)
+		data := msg.Data
+		if ln != nil && ln.State != cache.Invalid {
+			data = ln.Val
+			if meta := sciMetaOf(ln); meta != nil {
+				meta.prev = msg.Requester
+			}
+			if ln.State == cache.Exclusive {
+				ln.State = cache.Valid
+				m.Send(&coherent.Msg{
+					Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
+					HasData: true, Data: data, Write: true, ToDir: true,
+					Aux: coherent.NoNode, AckTo: coherent.NoNode,
+				})
+			}
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
+			Requester: msg.Requester, HasData: true, Data: data,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	case coherent.MsgChainData:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("list/sci: ChainData without matching read txn")
+		}
+		delete(e.tombstones, tombKey{n, msg.Block})
+		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: msg.Src})
+	case coherent.MsgPurge:
+		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
+			txn.Deferred = append(txn.Deferred, msg)
+			return
+		}
+		next := coherent.NoNode
+		ln := node.Cache.Lookup(msg.Block)
+		if ln != nil && ln.State != cache.Invalid {
+			if meta := sciMetaOf(ln); meta != nil {
+				next = meta.next
+			}
+			node.Cache.Invalidate(msg.Block)
+		} else if t, ok := e.tombstones[tombKey{n, msg.Block}]; ok {
+			next = t
+			delete(e.tombstones, tombKey{n, msg.Block})
+		}
+		m.Ctr.InvAcks++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgPurgeAck, Src: n, Dst: msg.Requester, Block: msg.Block,
+			Requester: msg.Requester, Aux: next, AckTo: coherent.NoNode,
+		})
+	case coherent.MsgPurgeAck:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || !txn.Write {
+			panic("list/sci: PurgeAck without matching write txn")
+		}
+		e.continuePurge(m, txn, msg.Aux)
+	case coherent.MsgUnlink:
+		// Splice already applied in simulator state; traffic only.
+	default:
+		panic("list/sci: unexpected cache message " + msg.Type.String())
+	}
+}
+
+// startPurge begins the writer's serial purge at the old head.
+func (e *SCI) startPurge(m *coherent.Machine, txn *coherent.Txn, oldHead coherent.NodeID) {
+	txn.Scratch = &purgeState{}
+	if oldHead == txn.Node {
+		// Upgrade: we were the head; start from our own successor.
+		next := coherent.NoNode
+		if meta := sciMetaOf(txn.Line); meta != nil {
+			next = meta.next
+		}
+		e.continuePurge(m, txn, next)
+		return
+	}
+	e.continuePurge(m, txn, oldHead)
+}
+
+// continuePurge advances the serial purge cursor.
+func (e *SCI) continuePurge(m *coherent.Machine, txn *coherent.Txn, cur coherent.NodeID) {
+	if cur == txn.Node {
+		// Our own (stale or upgrading) self in the chain: skip past our
+		// successor pointer, falling back to the tombstone left by a
+		// replacement.
+		next := coherent.NoNode
+		if ln := m.Nodes[txn.Node].Cache.Lookup(txn.Block); ln != nil && ln.State != cache.Invalid {
+			if meta := sciMetaOf(ln); meta != nil {
+				next = meta.next
+			}
+		} else if t, ok := e.tombstones[tombKey{txn.Node, txn.Block}]; ok {
+			next = t
+			delete(e.tombstones, tombKey{txn.Node, txn.Block})
+		}
+		cur = next
+	}
+	if cur == coherent.NoNode {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgDone, Src: txn.Node, Dst: m.Home(txn.Block), Block: txn.Block,
+			Requester: txn.Node, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		return
+	}
+	m.Ctr.Invalidations++
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgPurge, Src: txn.Node, Dst: cur, Block: txn.Block,
+		Requester: txn.Node, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// OnEvict implements coherent.Engine: splice out of the doubly linked
+// list, notifying both neighbors (the home when we are the head).
+func (e *SCI) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	b := ln.Block
+	if ln.State == cache.Exclusive {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(b), Block: b,
+			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		return
+	}
+	meta := sciMetaOf(ln)
+	if meta == nil {
+		return
+	}
+	prev, next := meta.prev, meta.next
+	// Apply the splice in simulator state (see the type comment), then
+	// send the unlink traffic.
+	if prev == coherent.NoNode {
+		en := e.entry(b)
+		if en.head == n {
+			en.head = next
+			if next == coherent.NoNode && en.state == shared {
+				en.state = uncached
+			}
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgUnlink, Src: n, Dst: m.Home(b), Block: b,
+			ToDir: true, Aux: next, AckTo: coherent.NoNode,
+		})
+	} else {
+		if pl := m.Nodes[prev].Cache.Lookup(b); pl != nil {
+			if pm := sciMetaOf(pl); pm != nil && pm.next == n {
+				pm.next = next
+			}
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgUnlink, Src: n, Dst: prev, Block: b,
+			Aux: next, AckTo: coherent.NoNode,
+		})
+	}
+	if next != coherent.NoNode {
+		if nl := m.Nodes[next].Cache.Lookup(b); nl != nil {
+			if nm := sciMetaOf(nl); nm != nil && nm.prev == n {
+				nm.prev = prev
+			}
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgUnlink, Src: n, Dst: next, Block: b,
+			Aux: prev, AckTo: coherent.NoNode,
+		})
+	}
+	// Tombstone so an in-flight purge naming us can continue the walk.
+	e.tombstones[tombKey{n, b}] = next
+}
+
+// DirectoryBits implements coherent.Engine: head pointer per memory
+// block plus forward and backward pointers per cache line.
+func (e *SCI) DirectoryBits(cfg coherent.Config, blocksPerNode int) int64 {
+	n := int64(cfg.Procs)
+	logn := int64(ceilLog2(cfg.Procs))
+	return (int64(blocksPerNode) + 2*int64(cfg.CacheLines())) * n * logn
+}

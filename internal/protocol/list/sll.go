@@ -1,0 +1,351 @@
+// Package list implements the linked-list coherence baselines of the
+// paper's Section 2.2: the Stanford/Thapar singly linked list protocol
+// and the IEEE 1596 Scalable Coherent Interface (SCI) doubly linked
+// list, both Dir_1Tree_1 schemes in the paper's nomenclature.
+package list
+
+import (
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+type dirState uint8
+
+const (
+	uncached dirState = iota
+	shared
+	dirty
+)
+
+// sllEntry is the singly-linked home state: just the head pointer.
+type sllEntry struct {
+	state dirState
+	head  coherent.NodeID
+	owner coherent.NodeID
+	pend  *sllPending
+}
+
+type sllPending struct {
+	req *coherent.Msg
+}
+
+// sllMeta is the per-line state: the forward pointer toward the tail.
+type sllMeta struct {
+	next coherent.NodeID
+}
+
+// SLL is the singly linked list protocol engine.
+//
+// Read miss: request to home (1), forward to the current head (1), the
+// head supplies the data and the requester becomes the new head (1) —
+// 3 messages, or 2 when the list is empty. Write miss: the invalidation
+// walks the chain sequentially, one message per copy, and only the tail
+// acknowledges — P+3 messages including the explicit ownership grant
+// (the paper's P+2 folds the grant into the tail acknowledgment).
+// Replacement tears down the list suffix below the replaced node with
+// Replace_INV, mirroring the forward-pointer-only design.
+//
+// One simulation liberty, documented in DESIGN.md: forwarded requests
+// carry the home's copy of the block in their bookkeeping fields so a
+// silently-replaced head can still satisfy a forward without a retry
+// protocol; message sizes on the wire count only what the real protocol
+// sends.
+type SLL struct {
+	entries map[coherent.BlockID]*sllEntry
+}
+
+// NewSLL returns a singly linked list engine.
+func NewSLL() *SLL { return &SLL{entries: make(map[coherent.BlockID]*sllEntry)} }
+
+// Name implements coherent.Engine.
+func (e *SLL) Name() string { return "sll" }
+
+func (e *SLL) entry(b coherent.BlockID) *sllEntry {
+	en := e.entries[b]
+	if en == nil {
+		en = &sllEntry{head: coherent.NoNode, owner: coherent.NoNode}
+		e.entries[b] = en
+	}
+	return en
+}
+
+// StartMiss implements coherent.Engine.
+func (e *SLL) StartMiss(m *coherent.Machine, txn *coherent.Txn) {
+	typ := coherent.MsgReadReq
+	if txn.Write {
+		typ = coherent.MsgWriteReq
+	}
+	m.Send(&coherent.Msg{
+		Type: typ, Src: txn.Node, Dst: m.Home(txn.Block), Block: txn.Block,
+		Requester: txn.Node, Data: txn.Value, HasData: txn.Write,
+		ToDir: true, Gated: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// HomeRequest implements coherent.Engine.
+func (e *SLL) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	b := msg.Block
+	home := m.Home(b)
+	switch msg.Type {
+	case coherent.MsgReadReq:
+		if en.head == coherent.NoNode || en.head == msg.Requester {
+			// Empty list — or the recorded head re-reading after a
+			// silent replacement (forwarding to itself would deadlock):
+			// home supplies the data directly.
+			en.state = shared
+			en.head = msg.Requester
+			m.ReadMem(func() {
+				e.markServed(m, msg.Requester, b)
+				m.Send(&coherent.Msg{
+					Type: coherent.MsgDataReply, Src: home, Dst: msg.Requester, Block: b,
+					Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+					Aux: coherent.NoNode, AckTo: coherent.NoNode,
+				})
+				m.ReleaseHome(b)
+			})
+			return
+		}
+		oldHead := en.head
+		en.head = msg.Requester
+		if en.state == dirty {
+			// The dirty head will demote itself and write back when it
+			// supplies the data.
+			en.state = shared
+			en.owner = coherent.NoNode
+		}
+		e.markServed(m, msg.Requester, b)
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgFwd, Src: home, Dst: oldHead, Block: b,
+			Requester: msg.Requester, Data: m.Store.Value(b),
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		m.ReleaseHome(b)
+	case coherent.MsgWriteReq:
+		m.SerializeWrite(msg)
+		if en.head == coherent.NoNode {
+			e.grantWrite(m, en, msg)
+			return
+		}
+		en.pend = &sllPending{req: msg}
+		m.Ctr.Invalidations++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgInv, Src: home, Dst: en.head, Block: b,
+			Requester: msg.Requester, AckTo: home, AckDir: true, Aux: coherent.NoNode,
+		})
+	default:
+		panic("list/sll: unexpected gated request " + msg.Type.String())
+	}
+}
+
+// markServed flags the requester's transaction so racing invalidations
+// defer until the in-flight data arrives.
+func (e *SLL) markServed(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID) {
+	if txn := m.Txn(n, b); txn != nil && !txn.Write {
+		txn.Served = true
+	}
+}
+
+func (e *SLL) grantWrite(m *coherent.Machine, en *sllEntry, msg *coherent.Msg) {
+	b := msg.Block
+	en.pend = nil
+	en.state = dirty
+	en.owner = msg.Requester
+	en.head = msg.Requester
+	m.ReadMem(func() {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	})
+}
+
+// HomeMsg implements coherent.Engine.
+func (e *SLL) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	switch msg.Type {
+	case coherent.MsgInvAck:
+		m.Ctr.InvAcks++
+		if en.pend == nil {
+			panic("list/sll: unexpected InvAck")
+		}
+		e.grantWrite(m, en, en.pend.req)
+	case coherent.MsgWbData:
+		m.Ctr.Writebacks++
+		m.Store.WritebackValue(msg.Block, msg.Data)
+		if en.owner == msg.Src {
+			en.owner = coherent.NoNode
+			if msg.Write {
+				en.state = shared // demoted head keeps a shared copy
+			} else if en.head == msg.Src {
+				// The sole dirty copy was evicted; the list is empty.
+				en.head = coherent.NoNode
+				en.state = uncached
+			} else {
+				en.state = shared
+			}
+		}
+	default:
+		panic("list/sll: unexpected home message " + msg.Type.String())
+	}
+}
+
+// CacheMsg implements coherent.Engine.
+func (e *SLL) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
+	n := msg.Dst
+	node := m.Nodes[n]
+	switch msg.Type {
+	case coherent.MsgDataReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("list/sll: DataReply without matching read txn")
+		}
+		m.CompleteTxn(txn, cache.Valid, msg.Data, &sllMeta{next: coherent.NoNode})
+	case coherent.MsgWriteReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || !txn.Write {
+			panic("list/sll: WriteReply without matching write txn")
+		}
+		m.CompleteTxn(txn, cache.Exclusive, txn.Value, &sllMeta{next: coherent.NoNode})
+		m.ReleaseHome(msg.Block)
+	case coherent.MsgFwd:
+		// Supply the block to the new head; the supplier stays in the
+		// list as the new head's successor.
+		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
+			// Our own copy is in flight; supply the requester after it
+			// installs (the home snapshot in msg.Data may be stale if a
+			// dirty owner upstream keeps writing).
+			txn.Deferred = append(txn.Deferred, msg)
+			return
+		}
+		ln := node.Cache.Lookup(msg.Block)
+		data := msg.Data // home copy, used when this node replaced silently
+		if ln != nil && ln.State != cache.Invalid {
+			data = ln.Val
+			if ln.State == cache.Exclusive {
+				// Demote and write back (RM on a dirty head).
+				ln.State = cache.Valid
+				m.Send(&coherent.Msg{
+					Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
+					HasData: true, Data: data, Write: true, ToDir: true,
+					Aux: coherent.NoNode, AckTo: coherent.NoNode,
+				})
+			}
+		}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
+			Requester: msg.Requester, HasData: true, Data: data,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	case coherent.MsgChainData:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("list/sll: ChainData without matching read txn")
+		}
+		m.CompleteTxn(txn, cache.Valid, msg.Data, &sllMeta{next: msg.Src})
+	case coherent.MsgInv:
+		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
+			// Our copy is in flight; invalidate it after it installs so
+			// the walk continues through our successor pointer.
+			txn.Deferred = append(txn.Deferred, msg)
+			return
+		}
+		ln := node.Cache.Lookup(msg.Block)
+		if ln == nil || ln.State == cache.Invalid {
+			// Chain broken by a silent replacement; everything below
+			// was torn down with it, so we are the effective tail.
+			e.ack(m, n, msg)
+			return
+		}
+		next := coherent.NoNode
+		if meta, ok := ln.Meta.(*sllMeta); ok {
+			next = meta.next
+		}
+		node.Cache.Invalidate(msg.Block)
+		if next == coherent.NoNode {
+			e.ack(m, n, msg) // tail acknowledges
+			return
+		}
+		m.Ctr.Invalidations++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgInv, Src: n, Dst: next, Block: msg.Block,
+			Requester: msg.Requester, AckTo: msg.AckTo, AckDir: msg.AckDir, Aux: coherent.NoNode,
+		})
+	case coherent.MsgReplaceInv:
+		// Traffic accounting only: the suffix teardown was applied in
+		// simulator state at eviction time (see OnEvict).
+	default:
+		panic("list/sll: unexpected cache message " + msg.Type.String())
+	}
+}
+
+func (e *SLL) ack(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgInvAck, Src: n, Dst: msg.AckTo, Block: msg.Block,
+		ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// OnEvict implements coherent.Engine: the suffix below the replaced
+// node is invalidated with Replace_INV (the forward-pointer-only
+// analogue of the tree scheme's subtree teardown); an exclusive line
+// writes back.
+//
+// Simulation liberty (DESIGN.md §6): the teardown takes effect
+// atomically in simulator state, with the Replace_INV messages sent for
+// traffic accounting only. A real implementation needs a victim buffer
+// or retry protocol to keep a racing invalidation walk sequentially
+// consistent; the tree engine in internal/core models that mechanism
+// faithfully.
+func (e *SLL) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	if ln.State == cache.Exclusive {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
+			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		return
+	}
+	src := n
+	next := coherent.NoNode
+	if meta, ok := ln.Meta.(*sllMeta); ok {
+		next = meta.next
+	}
+	for next != coherent.NoNode {
+		m.Ctr.ReplaceInvs++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgReplaceInv, Src: src, Dst: next, Block: ln.Block,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		cur := m.Nodes[next].Cache.Lookup(ln.Block)
+		if cur == nil || cur.State == cache.Invalid {
+			break
+		}
+		nn := coherent.NoNode
+		if meta, ok := cur.Meta.(*sllMeta); ok {
+			nn = meta.next
+		}
+		m.Nodes[next].Cache.Invalidate(ln.Block)
+		src = next
+		next = nn
+	}
+}
+
+// DirectoryBits implements coherent.Engine: the paper's (C+B)·n·log n —
+// one pointer per memory block at the home plus one per cache line.
+func (e *SLL) DirectoryBits(cfg coherent.Config, blocksPerNode int) int64 {
+	n := int64(cfg.Procs)
+	logn := int64(ceilLog2(cfg.Procs))
+	return (int64(blocksPerNode) + int64(cfg.CacheLines())) * n * logn
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}

@@ -1,0 +1,122 @@
+// Figure 3/4 state-transition tests: drive one block through every
+// stable-state transition of the paper's cache state machine (Figure 3)
+// — IV→E on a write miss, IV→V on a read miss, E→V on a remote read
+// (the RM_WW demotion), V→IV and E→IV on a remote write — under every
+// invalidation engine, observing the states from outside the protocol.
+package protocol_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+)
+
+func stateOf(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID) cache.State {
+	ln := m.Nodes[n].Cache.Lookup(b)
+	if ln == nil || ln.State == cache.Invalid {
+		return cache.Invalid
+	}
+	return ln.State
+}
+
+func TestFigure3CacheStateTransitions(t *testing.T) {
+	for name, f := range allEngines() {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			cfg := coherent.DefaultConfig(4)
+			cfg.Check = true
+			m, err := coherent.NewMachine(cfg, f())
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := m.Alloc(8)
+			b := m.BlockOf(addr)
+			var errs []string
+			expect := func(label string, n coherent.NodeID, want cache.State) {
+				if got := stateOf(m, n, b); got != want {
+					errs = append(errs, fmt.Sprintf("%s: node %d in %v, want %v", label, n, got, want))
+				}
+			}
+			if _, err := proc.Run(m, func(e proc.Env) {
+				// Phase 1: node 0 writes (IV -> E).
+				if e.ID() == 0 {
+					e.Write(addr, 1)
+					expect("IV->E after write miss", 0, cache.Exclusive)
+				}
+				e.Barrier()
+				// Phase 2: node 1 reads (IV -> V at node 1; E -> V demotion
+				// at node 0, the Figure 4 RM_WW path).
+				if e.ID() == 1 {
+					e.Read(addr)
+					expect("IV->V after read miss", 1, cache.Valid)
+					// The demoted ex-owner holds V — except under a
+					// single-pointer limited directory, whose overflow
+					// eviction legally invalidates it.
+					if st := stateOf(m, 0, b); st != cache.Valid && st != cache.Invalid {
+						errs = append(errs, fmt.Sprintf("E->V after remote read: node 0 in %v", st))
+					}
+				}
+				e.Barrier()
+				// Phase 3: node 2 writes (V -> IV at nodes 0 and 1; IV -> E
+				// at node 2, the Figure 4 WM_LIP path).
+				if e.ID() == 2 {
+					e.Write(addr, 2)
+					expect("IV->E second writer", 2, cache.Exclusive)
+					expect("V->IV after remote write", 0, cache.Invalid)
+					expect("V->IV after remote write", 1, cache.Invalid)
+				}
+				e.Barrier()
+				// Phase 4: node 3 writes while node 2 owns (E -> IV at
+				// node 2, the Figure 4 WM_WW recall path).
+				if e.ID() == 3 {
+					e.Write(addr, 3)
+					expect("E->IV after remote write", 2, cache.Invalid)
+					expect("IV->E third writer", 3, cache.Exclusive)
+				}
+				e.Barrier()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, msg := range errs {
+				t.Error(msg)
+			}
+		})
+	}
+}
+
+// The update variant's Figure 3 differs by design: remote writes leave
+// copies Valid with the fresh value rather than invalidating them.
+func TestFigure3UpdateVariantKeepsValid(t *testing.T) {
+	cfg := coherent.DefaultConfig(4)
+	cfg.Check = true
+	eng, _ := anyUpdateEngine()
+	m, err := coherent.NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Alloc(8)
+	b := m.BlockOf(addr)
+	bad := false
+	if _, err := proc.Run(m, func(e proc.Env) {
+		if e.ID() == 1 {
+			e.Read(addr)
+		}
+		e.Barrier()
+		if e.ID() == 0 {
+			e.Write(addr, 5)
+			ln := m.Nodes[1].Cache.Lookup(b)
+			if ln == nil || ln.State != cache.Valid || ln.Val != 5 {
+				bad = true
+			}
+		}
+		e.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("update write did not leave the sharer Valid with the new value")
+	}
+}

@@ -1,0 +1,520 @@
+// Package stp implements the Scalable Tree Protocol of Nilsson and
+// Stenström (binary variant), the balanced-tree baseline of the paper's
+// Section 2.2: a Dir_2Tree_2 scheme that builds one balanced binary
+// tree per block top-down.
+//
+// Read misses are expensive (the paper's "4 to 8" messages): the
+// request descends from the root to the least-filled subtree before the
+// requester is adopted, supplied, and the home notified. Write misses
+// invalidate in logarithmic time by fanning out from the root with
+// bottom-up acknowledgment aggregation. Replacement tears down the
+// subtree below the replaced line, with the victim-buffer tombstone
+// routing of internal/core keeping racing waves sequentially
+// consistent; a descent that reaches a torn-down node bounces to the
+// home, which re-roots the tree over the old root.
+package stp
+
+import (
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+type dirState uint8
+
+const (
+	uncached dirState = iota
+	shared
+	dirty
+)
+
+type entry struct {
+	state dirState
+	root  coherent.NodeID
+	owner coherent.NodeID
+	pend  *pending
+}
+
+type pending struct {
+	req      *coherent.Msg
+	acksLeft int
+}
+
+// stpMeta is the per-line tree state: up to two children plus their
+// subtree populations for balance-directed insertion routing.
+type stpMeta struct {
+	children [2]coherent.NodeID
+	counts   [2]int
+}
+
+func newMeta() *stpMeta {
+	return &stpMeta{children: [2]coherent.NodeID{coherent.NoNode, coherent.NoNode}}
+}
+
+type aggKey struct {
+	n coherent.NodeID
+	b coherent.BlockID
+}
+
+type agg struct {
+	armed bool
+	left  int
+	to    coherent.NodeID
+	toDir bool
+}
+
+// Engine is the STP engine for one machine.
+type Engine struct {
+	entries map[coherent.BlockID]*entry
+	aggs    map[aggKey]*agg
+	tombs   map[aggKey][]coherent.NodeID
+}
+
+// New returns a binary STP engine.
+func New() *Engine {
+	return &Engine{
+		entries: make(map[coherent.BlockID]*entry),
+		aggs:    make(map[aggKey]*agg),
+		tombs:   make(map[aggKey][]coherent.NodeID),
+	}
+}
+
+// Name implements coherent.Engine.
+func (e *Engine) Name() string { return "stp" }
+
+func (e *Engine) entry(b coherent.BlockID) *entry {
+	en := e.entries[b]
+	if en == nil {
+		en = &entry{root: coherent.NoNode, owner: coherent.NoNode}
+		e.entries[b] = en
+	}
+	return en
+}
+
+func metaOf(ln *cache.Line) *stpMeta {
+	if meta, ok := ln.Meta.(*stpMeta); ok {
+		return meta
+	}
+	return nil
+}
+
+// StartMiss implements coherent.Engine.
+func (e *Engine) StartMiss(m *coherent.Machine, txn *coherent.Txn) {
+	typ := coherent.MsgReadReq
+	if txn.Write {
+		typ = coherent.MsgWriteReq
+	}
+	m.Send(&coherent.Msg{
+		Type: typ, Src: txn.Node, Dst: m.Home(txn.Block), Block: txn.Block,
+		Requester: txn.Node, Data: txn.Value, HasData: txn.Write,
+		ToDir: true, Gated: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// HomeRequest implements coherent.Engine.
+func (e *Engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	b := msg.Block
+	home := m.Home(b)
+	switch msg.Type {
+	case coherent.MsgReadReq:
+		if en.root == coherent.NoNode || en.root == msg.Requester {
+			// Empty tree, or the recorded root re-reading after a
+			// silent replacement: serve directly.
+			e.directReply(m, en, msg)
+			return
+		}
+		// Descend from the root; the gate stays held until the adopter
+		// confirms with Done (or the descent bounces).
+		en.pend = &pending{req: msg}
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgFwd, Src: home, Dst: en.root, Block: b,
+			Requester: msg.Requester, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	case coherent.MsgWriteReq:
+		m.SerializeWrite(msg)
+		if en.root == coherent.NoNode {
+			e.grantWrite(m, en, msg)
+			return
+		}
+		en.pend = &pending{req: msg, acksLeft: 1}
+		m.Ctr.Invalidations++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgInv, Src: home, Dst: en.root, Block: b,
+			Requester: msg.Requester, AckTo: home, AckDir: true, Aux: coherent.NoNode,
+		})
+	default:
+		panic("stp: unexpected gated request " + msg.Type.String())
+	}
+}
+
+func (e *Engine) directReply(m *coherent.Machine, en *entry, msg *coherent.Msg) {
+	b := msg.Block
+	en.state = shared
+	en.root = msg.Requester
+	m.ReadMem(func() {
+		e.markServed(m, msg.Requester, b)
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgDataReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		m.ReleaseHome(b)
+	})
+}
+
+func (e *Engine) markServed(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID) {
+	if txn := m.Txn(n, b); txn != nil && !txn.Write {
+		txn.Served = true
+	}
+}
+
+func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
+	b := msg.Block
+	en.pend = nil
+	en.state = dirty
+	en.owner = msg.Requester
+	en.root = msg.Requester
+	m.ReadMem(func() {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
+			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	})
+}
+
+// HomeMsg implements coherent.Engine.
+func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(msg.Block)
+	switch msg.Type {
+	case coherent.MsgDone:
+		// An adopter placed the requester; the read transaction at the
+		// home is finished.
+		if en.pend == nil {
+			panic("stp: Done without a pending read")
+		}
+		e.markServed(m, en.pend.req.Requester, msg.Block)
+		en.pend = nil
+		m.ReleaseHome(msg.Block)
+	case coherent.MsgFwd:
+		// A descent bounced off a torn-down node: re-root the tree over
+		// the old root and serve the requester from home.
+		if en.pend == nil {
+			panic("stp: bounced insert without a pending read")
+		}
+		req := en.pend.req
+		en.pend = nil
+		oldRoot := en.root
+		b := msg.Block
+		en.root = req.Requester
+		en.state = shared
+		var ptrs []coherent.NodeID
+		if oldRoot != coherent.NoNode && oldRoot != req.Requester {
+			ptrs = []coherent.NodeID{oldRoot}
+		}
+		m.ReadMem(func() {
+			e.markServed(m, req.Requester, b)
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgDataReply, Src: m.Home(b), Dst: req.Requester, Block: b,
+				Requester: req.Requester, HasData: true, Data: m.Store.Value(b),
+				Ptrs: ptrs, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+			m.ReleaseHome(b)
+		})
+	case coherent.MsgInvAck:
+		m.Ctr.InvAcks++
+		p := en.pend
+		if p == nil || p.acksLeft <= 0 {
+			panic("stp: unexpected InvAck at home")
+		}
+		p.acksLeft--
+		if p.acksLeft == 0 {
+			e.grantWrite(m, en, p.req)
+		}
+	case coherent.MsgWbData:
+		m.Ctr.Writebacks++
+		m.Store.WritebackValue(msg.Block, msg.Data)
+		if en.owner == msg.Src {
+			en.owner = coherent.NoNode
+			if msg.Write {
+				en.state = shared
+			} else if en.root == msg.Src {
+				en.root = coherent.NoNode
+				en.state = uncached
+			} else {
+				en.state = shared
+			}
+		}
+	default:
+		panic("stp: unexpected home message " + msg.Type.String())
+	}
+}
+
+// CacheMsg implements coherent.Engine.
+func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
+	n := msg.Dst
+	node := m.Nodes[n]
+	switch msg.Type {
+	case coherent.MsgDataReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("stp: DataReply without matching read txn")
+		}
+		meta := newMeta()
+		for i, p := range msg.Ptrs {
+			if i >= 2 {
+				break
+			}
+			meta.children[i] = p
+			meta.counts[i] = 1
+		}
+		m.CompleteTxn(txn, cache.Valid, msg.Data, meta)
+	case coherent.MsgWriteReply:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || !txn.Write {
+			panic("stp: WriteReply without matching write txn")
+		}
+		m.CompleteTxn(txn, cache.Exclusive, txn.Value, newMeta())
+		m.ReleaseHome(msg.Block)
+	case coherent.MsgChainData:
+		txn := m.Txn(n, msg.Block)
+		if txn == nil || txn.Write {
+			panic("stp: ChainData without matching read txn")
+		}
+		m.CompleteTxn(txn, cache.Valid, msg.Data, newMeta())
+	case coherent.MsgFwd:
+		e.onInsert(m, node, msg)
+	case coherent.MsgInv:
+		e.onInv(m, node, msg)
+	case coherent.MsgInvAck:
+		e.onCacheAck(m, n, msg)
+	case coherent.MsgReplaceInv:
+		ln := node.Cache.Lookup(msg.Block)
+		if ln == nil || ln.State == cache.Invalid {
+			return
+		}
+		children := liveChildren(ln)
+		node.Cache.Invalidate(msg.Block)
+		e.mergeTombs(aggKey{n, msg.Block}, children)
+		e.sendReplaceInv(m, n, msg.Block, children)
+	case coherent.MsgWbReq:
+		panic("stp: WbReq unused by this engine")
+	default:
+		panic("stp: unexpected cache message " + msg.Type.String())
+	}
+}
+
+// onInsert routes a descending read request: adopt the requester in a
+// free child slot, or forward toward the smaller subtree, or bounce to
+// the home if this node's copy is gone.
+func (e *Engine) onInsert(m *coherent.Machine, node *coherent.Node, msg *coherent.Msg) {
+	n := node.ID
+	ln := node.Cache.Lookup(msg.Block)
+	if ln == nil || ln.State == cache.Invalid {
+		// Torn-down node: bounce to the home, which re-roots.
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgFwd, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
+			Requester: msg.Requester, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+		return
+	}
+	meta := metaOf(ln)
+	if meta == nil {
+		meta = newMeta()
+		ln.Meta = meta
+	}
+	if ln.State == cache.Exclusive {
+		// A dirty root demotes itself and writes back before sharing.
+		ln.State = cache.Valid
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
+			HasData: true, Data: ln.Val, Write: true, ToDir: true,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		if meta.children[i] == coherent.NoNode {
+			meta.children[i] = msg.Requester
+			meta.counts[i] = 1
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
+				Requester: msg.Requester, HasData: true, Data: ln.Val,
+				Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgDone, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
+				Requester: msg.Requester, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+			return
+		}
+	}
+	// Both slots taken: descend into the smaller subtree.
+	dir := 0
+	if meta.counts[1] < meta.counts[0] {
+		dir = 1
+	}
+	meta.counts[dir]++
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgFwd, Src: n, Dst: meta.children[dir], Block: msg.Block,
+		Requester: msg.Requester, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// onInv mirrors the Dir_iTree_k wave handling: invalidate, fan out to
+// children and victim-buffer tombstones, aggregate acks upward.
+func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.Msg) {
+	n := node.ID
+	if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
+		txn.Deferred = append(txn.Deferred, msg)
+		return
+	}
+	key := aggKey{n, msg.Block}
+	a := e.aggs[key]
+	if a != nil && a.armed {
+		e.sendAck(m, n, msg)
+		return
+	}
+	if a == nil {
+		a = &agg{}
+		e.aggs[key] = a
+	}
+	a.armed = true
+	a.to = msg.AckTo
+	a.toDir = msg.AckDir
+	var fanout []coherent.NodeID
+	if ln := node.Cache.Lookup(msg.Block); ln != nil && ln.State != cache.Invalid {
+		fanout = append(fanout, liveChildren(ln)...)
+		node.Cache.Invalidate(msg.Block)
+	}
+	for _, c := range e.tombs[key] {
+		dup := false
+		for _, f := range fanout {
+			if f == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fanout = append(fanout, c)
+		}
+	}
+	delete(e.tombs, key)
+	for _, c := range fanout {
+		a.left++
+		m.Ctr.Invalidations++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgInv, Src: n, Dst: c, Block: msg.Block,
+			Requester: msg.Requester, AckTo: n, Aux: coherent.NoNode,
+		})
+	}
+	e.maybeFinishAgg(m, key, a)
+}
+
+func (e *Engine) onCacheAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
+	m.Ctr.InvAcks++
+	key := aggKey{n, msg.Block}
+	a := e.aggs[key]
+	if a == nil {
+		a = &agg{}
+		e.aggs[key] = a
+	}
+	a.left--
+	e.maybeFinishAgg(m, key, a)
+}
+
+func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
+	if !a.armed || a.left != 0 {
+		return
+	}
+	delete(e.aggs, key)
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgInvAck, Src: key.n, Dst: a.to, Block: key.b,
+		ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+func (e *Engine) sendAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgInvAck, Src: n, Dst: msg.AckTo, Block: msg.Block,
+		ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+func liveChildren(ln *cache.Line) []coherent.NodeID {
+	meta := metaOf(ln)
+	if meta == nil {
+		return nil
+	}
+	var out []coherent.NodeID
+	for _, c := range meta.children {
+		if c != coherent.NoNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (e *Engine) mergeTombs(key aggKey, children []coherent.NodeID) {
+	if len(children) == 0 {
+		return
+	}
+	cur := e.tombs[key]
+	for _, c := range children {
+		dup := false
+		for _, t := range cur {
+			if t == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cur = append(cur, c)
+		}
+	}
+	e.tombs[key] = cur
+}
+
+func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, children []coherent.NodeID) {
+	for _, c := range children {
+		m.Ctr.ReplaceInvs++
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgReplaceInv, Src: n, Dst: c, Block: b,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
+}
+
+// OnEvict implements coherent.Engine: subtree teardown with
+// victim-buffer tombstones, writeback for exclusive lines.
+func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	switch ln.State {
+	case cache.Valid:
+		children := liveChildren(ln)
+		e.mergeTombs(aggKey{n, ln.Block}, children)
+		e.sendReplaceInv(m, n, ln.Block, children)
+	case cache.Exclusive:
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
+			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
+}
+
+// DirectoryBits implements coherent.Engine: two home pointers (root and
+// latest) per block plus two child pointers and counts per cache line.
+func (e *Engine) DirectoryBits(cfg coherent.Config, blocksPerNode int) int64 {
+	n := int64(cfg.Procs)
+	logn := int64(ceilLog2(cfg.Procs))
+	return int64(blocksPerNode)*n*2*logn + int64(cfg.CacheLines())*n*2*2*logn
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}

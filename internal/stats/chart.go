@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BarChart renders a labeled horizontal ASCII bar chart. Values are
+// scaled so the largest bar spans width runes; a reference line at
+// ref (if > 0) is marked on each bar, which the figure tools use to
+// show the full-map baseline at 1.0.
+type BarChart struct {
+	Title string
+	Width int
+	Ref   float64
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label: label, value: value})
+}
+
+// Sorted reorders bars by ascending value (stable on the label for
+// ties) — useful for ranking views.
+func (c *BarChart) Sorted() *BarChart {
+	sort.SliceStable(c.rows, func(i, j int) bool { return c.rows[i].value < c.rows[j].value })
+	return c
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, r := range c.rows {
+		if r.value > max {
+			max = r.value
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if max <= 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	refCol := -1
+	if c.Ref > 0 && c.Ref <= max {
+		refCol = int(c.Ref / max * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	for _, r := range c.rows {
+		n := int(r.value / max * float64(width))
+		if n < 1 && r.value > 0 {
+			n = 1
+		}
+		bar := []rune(strings.Repeat("█", n) + strings.Repeat(" ", width-n))
+		if refCol >= 0 {
+			if refCol < n {
+				bar[refCol] = '┃'
+			} else {
+				bar[refCol] = '│'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s %.3f\n", labelW, r.label, string(bar), r.value)
+	}
+	return b.String()
+}

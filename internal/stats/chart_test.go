@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	c := &BarChart{Title: "demo", Width: 10, Ref: 1.0}
+	c.Add("fm", 1.0)
+	c.Add("T4", 1.5)
+	c.Add("L1", 3.0)
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	for _, label := range []string{"fm", "T4", "L1"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("label %s missing:\n%s", label, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// The largest value must have the longest bar.
+	if strings.Count(lines[3], "█") <= strings.Count(lines[1], "█") {
+		t.Errorf("bar scaling wrong:\n%s", out)
+	}
+	// The reference mark appears on every bar line.
+	for _, l := range lines[1:] {
+		if !strings.ContainsAny(l, "┃│") {
+			t.Errorf("reference mark missing on %q", l)
+		}
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := &BarChart{}
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestBarChartZeroWidthDefaults(t *testing.T) {
+	c := &BarChart{}
+	c.Add("x", 2)
+	out := c.String()
+	if strings.Count(out, "█") != 50 {
+		t.Errorf("default width not applied:\n%q", out)
+	}
+}
+
+func TestBarChartSorted(t *testing.T) {
+	c := &BarChart{Width: 8}
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("c", 3)
+	out := c.Sorted().String()
+	ia, ib, ic := strings.Index(out, "a"), strings.Index(out, "b"), strings.Index(out, "c")
+	if !(ia < ib && ib < ic) {
+		t.Errorf("not sorted:\n%s", out)
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	c := &BarChart{Width: 10}
+	c.Add("big", 1000)
+	c.Add("tiny", 0.001)
+	out := c.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "tiny") && !strings.Contains(line, "█") {
+			t.Errorf("tiny bar invisible: %q", line)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.CountMsg("ReadReq", 8, 3)
+	c.CountMsg("DataReply", 16, 3)
+	c.CountMsg("ReadReq", 8, 1)
+	if c.Messages != 3 || c.Bytes != 32 || c.HopsSum != 7 {
+		t.Fatalf("msg accounting wrong: %+v", c)
+	}
+	if c.MsgByType["ReadReq"] != 2 || c.MsgByType["DataReply"] != 1 {
+		t.Fatalf("per-type counts wrong: %v", c.MsgByType)
+	}
+}
+
+func TestCountMsgNilMap(t *testing.T) {
+	var c Counters // zero value, no map
+	c.CountMsg("Inv", 8, 2)
+	if c.MsgByType["Inv"] != 1 {
+		t.Fatal("CountMsg on zero-value Counters lost the type count")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	c := NewCounters()
+	if c.MissRatio() != 0 {
+		t.Fatal("empty counters should have ratio 0")
+	}
+	c.Reads, c.Writes = 60, 40
+	c.ReadMisses, c.WriteMisses = 6, 4
+	if got := c.MissRatio(); got != 0.1 {
+		t.Fatalf("MissRatio() = %v, want 0.1", got)
+	}
+}
+
+func TestMessagesPerMiss(t *testing.T) {
+	c := NewCounters()
+	if c.MessagesPerMiss() != 0 {
+		t.Fatal("no misses should yield 0")
+	}
+	c.ReadMisses = 5
+	c.Messages = 10
+	if got := c.MessagesPerMiss(); got != 2 {
+		t.Fatalf("MessagesPerMiss() = %v, want 2", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := NewCounters()
+	b := NewCounters()
+	a.Reads, b.Reads = 3, 4
+	a.CountMsg("Inv", 8, 1)
+	b.CountMsg("Inv", 8, 2)
+	b.CountMsg("Ack", 8, 2)
+	a.ReadMissCycles.Observe(10)
+	b.ReadMissCycles.Observe(20)
+	a.Add(b)
+	if a.Reads != 7 {
+		t.Fatalf("Reads = %d, want 7", a.Reads)
+	}
+	if a.MsgByType["Inv"] != 2 || a.MsgByType["Ack"] != 1 {
+		t.Fatalf("merged type map wrong: %v", a.MsgByType)
+	}
+	if a.ReadMissCycles.Count != 2 || a.ReadMissCycles.Sum != 30 {
+		t.Fatalf("merged histogram wrong: %+v", a.ReadMissCycles)
+	}
+	a.Add(nil) // must not panic
+}
+
+func TestAddIntoZeroValue(t *testing.T) {
+	var a Counters
+	b := NewCounters()
+	b.CountMsg("X", 1, 1)
+	a.Add(b)
+	if a.MsgByType["X"] != 1 {
+		t.Fatal("Add into zero-value Counters lost map contents")
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	c := NewCounters()
+	c.Cycles = 123456
+	c.CountMsg("Inv", 8, 1)
+	s := c.String()
+	for _, want := range []string{"123456", "Inv", "miss ratio"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHistogramMeanMax(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should be zero")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count != 5 || h.Sum != 106 {
+		t.Fatalf("histogram count/sum wrong: %+v", h)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max() = %d, want 100", h.Max())
+	}
+	if got := h.Mean(); got != 106.0/5 {
+		t.Fatalf("Mean() = %v", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 32 || med > 127 {
+		t.Fatalf("median bound %d outside plausible bucket range", med)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.5) {
+		t.Fatal("quantiles must be monotone")
+	}
+}
+
+// Property: histogram sum/count always match direct accumulation, and
+// every sample lands in exactly one bucket.
+func TestQuickHistogram(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		var sum uint64
+		for _, v := range vals {
+			h.Observe(uint64(v))
+			sum += uint64(v)
+		}
+		var bucketTotal uint64
+		for _, b := range h.Buckets {
+			bucketTotal += b
+		}
+		return h.Count == uint64(len(vals)) && h.Sum == sum && bucketTotal == h.Count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 40, 41}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

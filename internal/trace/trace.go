@@ -1,0 +1,288 @@
+// Package trace records and replays shared-memory reference traces.
+//
+// Execution-driven simulation (Proteus-style, the default in this
+// repository) runs the application for every protocol configuration.
+// Trace-driven simulation records the reference stream once and replays
+// it against many protocol configurations — cheaper for large sweeps,
+// at the usual cost that the replayed stream cannot react to protocol
+// timing. Because every workload here is barrier-phase deterministic,
+// a replay under the same protocol reproduces the original run
+// cycle-for-cycle (tested), and replays under other protocols produce
+// exactly the reference streams the execution-driven run would.
+//
+// The binary format is a small varint encoding: a header (magic,
+// version, processor count) followed by per-processor event streams.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dircc/internal/coherent"
+	"dircc/internal/proc"
+	"dircc/internal/sim"
+)
+
+// Op is a traced operation kind.
+type Op uint8
+
+const (
+	// OpRead is a shared-memory load.
+	OpRead Op = iota
+	// OpWrite is a shared-memory store.
+	OpWrite
+	// OpCompute charges local computation cycles.
+	OpCompute
+	// OpBarrier is a global barrier.
+	OpBarrier
+	// OpLock acquires a lock.
+	OpLock
+	// OpUnlock releases a lock.
+	OpUnlock
+	// OpFetchAdd is an atomic fetch-add (Arg = address, Value = delta).
+	OpFetchAdd
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	case OpCompute:
+		return "C"
+	case OpBarrier:
+		return "B"
+	case OpLock:
+		return "L"
+	case OpUnlock:
+		return "U"
+	case OpFetchAdd:
+		return "F"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event is one traced operation. Arg is the address for Read/Write, the
+// cycle count for Compute, and the lock id for Lock/Unlock.
+type Event struct {
+	Op    Op
+	Arg   uint64
+	Value uint64 // stored value for writes
+}
+
+// Trace is a recorded multiprocessor reference stream.
+type Trace struct {
+	Procs   int
+	Streams [][]Event
+}
+
+// Events returns the total number of recorded events.
+func (t *Trace) Events() int {
+	n := 0
+	for _, s := range t.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// recEnv wraps an Env, recording every operation.
+type recEnv struct {
+	proc.Env
+	out *[]Event
+}
+
+func (r *recEnv) Read(addr uint64) uint64 {
+	*r.out = append(*r.out, Event{Op: OpRead, Arg: addr})
+	return r.Env.Read(addr)
+}
+
+func (r *recEnv) Write(addr uint64, v uint64) {
+	*r.out = append(*r.out, Event{Op: OpWrite, Arg: addr, Value: v})
+	r.Env.Write(addr, v)
+}
+
+func (r *recEnv) FetchAdd(addr uint64, delta uint64) uint64 {
+	*r.out = append(*r.out, Event{Op: OpFetchAdd, Arg: addr, Value: delta})
+	return r.Env.FetchAdd(addr, delta)
+}
+
+func (r *recEnv) Compute(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	*r.out = append(*r.out, Event{Op: OpCompute, Arg: cycles})
+	r.Env.Compute(cycles)
+}
+
+func (r *recEnv) Barrier() {
+	*r.out = append(*r.out, Event{Op: OpBarrier})
+	r.Env.Barrier()
+}
+
+func (r *recEnv) Lock(id int) {
+	*r.out = append(*r.out, Event{Op: OpLock, Arg: uint64(id)})
+	r.Env.Lock(id)
+}
+
+func (r *recEnv) Unlock(id int) {
+	*r.out = append(*r.out, Event{Op: OpUnlock, Arg: uint64(id)})
+	r.Env.Unlock(id)
+}
+
+// Record runs body on m while recording every processor's reference
+// stream, returning the trace and the simulated cycles of the
+// execution-driven run.
+func Record(m *coherent.Machine, body proc.Body) (*Trace, sim.Time, error) {
+	tr := &Trace{Procs: m.Cfg.Procs, Streams: make([][]Event, m.Cfg.Procs)}
+	cycles, err := proc.Run(m, func(e proc.Env) {
+		body(&recEnv{Env: e, out: &tr.Streams[e.ID()]})
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return tr, cycles, nil
+}
+
+// Replay drives m with the recorded streams and returns the simulated
+// cycles. The machine must have the same processor count; the shared
+// address space must be laid out as in the recording (same Alloc calls,
+// or simply a fresh machine with the same configuration).
+func Replay(m *coherent.Machine, tr *Trace) (sim.Time, error) {
+	if m.Cfg.Procs != tr.Procs {
+		return 0, fmt.Errorf("trace: recorded on %d processors, machine has %d", tr.Procs, m.Cfg.Procs)
+	}
+	return proc.Run(m, func(e proc.Env) {
+		for _, ev := range tr.Streams[e.ID()] {
+			switch ev.Op {
+			case OpRead:
+				e.Read(ev.Arg)
+			case OpWrite:
+				e.Write(ev.Arg, ev.Value)
+			case OpCompute:
+				e.Compute(ev.Arg)
+			case OpBarrier:
+				e.Barrier()
+			case OpLock:
+				e.Lock(int(ev.Arg))
+			case OpUnlock:
+				e.Unlock(int(ev.Arg))
+			case OpFetchAdd:
+				e.FetchAdd(ev.Arg, ev.Value)
+			default:
+				panic(fmt.Sprintf("trace: unknown op %d", ev.Op))
+			}
+		}
+	})
+}
+
+const (
+	magic   = 0x44495243 // "DIRC"
+	version = 1
+)
+
+// WriteTo serializes the trace in the binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v uint64) error {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], v)
+		written, err := bw.Write(buf[:k])
+		n += int64(written)
+		return err
+	}
+	if err := put(magic); err != nil {
+		return n, err
+	}
+	if err := put(version); err != nil {
+		return n, err
+	}
+	if err := put(uint64(t.Procs)); err != nil {
+		return n, err
+	}
+	for _, stream := range t.Streams {
+		if err := put(uint64(len(stream))); err != nil {
+			return n, err
+		}
+		for _, ev := range stream {
+			if err := put(uint64(ev.Op)); err != nil {
+				return n, err
+			}
+			if err := put(ev.Arg); err != nil {
+				return n, err
+			}
+			if ev.Op == OpWrite || ev.Op == OpFetchAdd {
+				if err := put(ev.Value); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	m, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	v, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	procs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if procs == 0 || procs > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible processor count %d", procs)
+	}
+	tr := &Trace{Procs: int(procs), Streams: make([][]Event, procs)}
+	for p := 0; p < int(procs); p++ {
+		count, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream %d length: %w", p, err)
+		}
+		if count > 1<<32 {
+			return nil, fmt.Errorf("trace: implausible stream length %d", count)
+		}
+		stream := make([]Event, 0, count)
+		for i := uint64(0); i < count; i++ {
+			op, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if Op(op) > OpFetchAdd {
+				return nil, fmt.Errorf("trace: unknown op %d", op)
+			}
+			arg, err := get()
+			if err != nil {
+				return nil, err
+			}
+			ev := Event{Op: Op(op), Arg: arg}
+			if ev.Op == OpWrite || ev.Op == OpFetchAdd {
+				val, err := get()
+				if err != nil {
+					return nil, err
+				}
+				ev.Value = val
+			}
+			stream = append(stream, ev)
+		}
+		tr.Streams[p] = stream
+	}
+	return tr, nil
+}

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dircc/internal/apps"
+	"dircc/internal/coherent"
+	"dircc/internal/core"
+	"dircc/internal/proc"
+	"dircc/internal/protocol/fullmap"
+)
+
+func machine(t *testing.T, eng coherent.Engine) *coherent.Machine {
+	t.Helper()
+	cfg := coherent.DefaultConfig(8)
+	cfg.Check = true
+	m, err := coherent.NewMachine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func floydBody(m *coherent.Machine) proc.Body {
+	app := &apps.Floyd{V: 10, EdgeProb: 0.3, Seed: 5}
+	body, _ := app.Prepare(m)
+	return body
+}
+
+func TestRecordCapturesAllOps(t *testing.T) {
+	m := machine(t, fullmap.New())
+	addr := m.Alloc(8)
+	tr, cycles, err := Record(m, func(e proc.Env) {
+		if e.ID() == 0 {
+			e.Write(addr, 7)
+			e.Compute(10)
+			e.Lock(3)
+			e.Unlock(3)
+		}
+		e.Barrier()
+		e.Read(addr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	s0 := tr.Streams[0]
+	wantOps := []Op{OpWrite, OpCompute, OpLock, OpUnlock, OpBarrier, OpRead}
+	if len(s0) != len(wantOps) {
+		t.Fatalf("stream 0 has %d events, want %d: %v", len(s0), len(wantOps), s0)
+	}
+	for i, op := range wantOps {
+		if s0[i].Op != op {
+			t.Fatalf("stream 0 event %d is %v, want %v", i, s0[i].Op, op)
+		}
+	}
+	// Other processors: barrier + read only.
+	if len(tr.Streams[3]) != 2 {
+		t.Fatalf("stream 3 has %d events, want 2", len(tr.Streams[3]))
+	}
+	if tr.Events() != len(wantOps)+7*2 {
+		t.Fatalf("Events() = %d", tr.Events())
+	}
+}
+
+func TestZeroComputeNotRecorded(t *testing.T) {
+	m := machine(t, fullmap.New())
+	tr, _, err := Record(m, func(e proc.Env) { e.Compute(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 0 {
+		t.Fatalf("Compute(0) recorded: %d events", tr.Events())
+	}
+}
+
+// Replay under the same protocol must reproduce the execution-driven
+// run cycle-for-cycle.
+func TestReplayReproducesCycles(t *testing.T) {
+	m1 := machine(t, core.New(4, 2))
+	tr, recorded, err := Record(m1, floydBody(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := machine(t, core.New(4, 2))
+	_ = floydBody(m2) // identical Alloc layout
+	replayed, err := Replay(m2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded != replayed {
+		t.Fatalf("replay took %d cycles, recording took %d", replayed, recorded)
+	}
+	if m2.Ctr.Messages == 0 {
+		t.Fatal("replay generated no traffic")
+	}
+}
+
+// A trace recorded under one protocol replays correctly (with monitor
+// checking) under every other protocol.
+func TestReplayAcrossProtocols(t *testing.T) {
+	m1 := machine(t, fullmap.New())
+	tr, _, err := Record(m1, floydBody(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := machine(t, core.New(2, 2))
+	_ = floydBody(m2)
+	if _, err := Replay(m2, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Final memory must match: the trace fixes the write values.
+	for b := coherent.BlockID(0); b < 300; b++ {
+		if m1.Store.Value(b) != m2.Store.Value(b) {
+			t.Fatalf("block %d differs after replay: %d vs %d", b, m1.Store.Value(b), m2.Store.Value(b))
+		}
+	}
+}
+
+func TestReplayRejectsWrongProcs(t *testing.T) {
+	m := machine(t, fullmap.New())
+	tr := &Trace{Procs: 4, Streams: make([][]Event, 4)}
+	if _, err := Replay(m, tr); err == nil {
+		t.Fatal("processor count mismatch accepted")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m := machine(t, fullmap.New())
+	tr, _, err := Record(m, floydBody(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("round trip changed the trace")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x01},
+		{0xff, 0xff, 0xff, 0xff, 0x0f}, // wrong magic
+	}
+	for i, c := range cases {
+		if _, err := ReadFrom(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	tr := &Trace{Procs: 1, Streams: make([][]Event, 1)}
+	tr.WriteTo(&buf)
+	data := buf.Bytes()
+	data[len(data)-2] = 99 // clobber inside the stream area is fine too
+	// Just ensure truncation fails cleanly:
+	if _, err := ReadFrom(bytes.NewReader(data[:3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+// Property: serialization round-trips arbitrary event streams.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nProcs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := int(nProcs%8) + 1
+		tr := &Trace{Procs: procs, Streams: make([][]Event, procs)}
+		for p := 0; p < procs; p++ {
+			n := rng.Intn(50)
+			for i := 0; i < n; i++ {
+				ev := Event{Op: Op(rng.Intn(6)), Arg: rng.Uint64() >> uint(rng.Intn(40))}
+				if ev.Op == OpWrite {
+					ev.Value = rng.Uint64()
+				}
+				tr.Streams[p] = append(tr.Streams[p], ev)
+			}
+			if tr.Streams[p] == nil {
+				tr.Streams[p] = []Event{}
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Procs != tr.Procs {
+			return false
+		}
+		for p := range tr.Streams {
+			if len(back.Streams[p]) != len(tr.Streams[p]) {
+				return false
+			}
+			for i := range tr.Streams[p] {
+				a, b := tr.Streams[p][i], back.Streams[p][i]
+				if a.Op != b.Op || a.Arg != b.Arg {
+					return false
+				}
+				if a.Op == OpWrite && a.Value != b.Value {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{OpRead: "R", OpWrite: "W", OpCompute: "C", OpBarrier: "B", OpLock: "L", OpUnlock: "U"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op %d = %q, want %q", op, op.String(), s)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op should render")
+	}
+}

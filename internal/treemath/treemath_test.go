@@ -1,0 +1,180 @@
+package treemath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Table 3: N_1(j) = j and N_2(j) = j(j+1)/2, matching the paper's
+// closed forms.
+func TestTable3ClosedForms(t *testing.T) {
+	for j := 1; j <= 40; j++ {
+		n1, n2, c1, c2 := Table3Row(j)
+		if n1 != c1 {
+			t.Fatalf("N1(%d) = %d, want %d", j, n1, c1)
+		}
+		if n2 != c2 {
+			t.Fatalf("N2(%d) = %d, want %d", j, n2, c2)
+		}
+	}
+}
+
+// The Dir_2Tree_2 column of the paper's Table 4 must match exactly.
+func TestTable4Dir2Tree2MatchesPaper(t *testing.T) {
+	for level, row := range PaperTable4 {
+		if got := MaxNodes(2, level); got != row[0] {
+			t.Errorf("MaxNodes(2,%d) = %d, paper %d", level, got, row[0])
+		}
+	}
+}
+
+// The binary-tree column must match exactly.
+func TestTable4BinaryMatchesPaper(t *testing.T) {
+	for level, row := range PaperTable4 {
+		if got := BinaryTreeNodes(level); got != row[2] {
+			t.Errorf("BinaryTreeNodes(%d) = %d, paper %d", level, got, row[2])
+		}
+	}
+}
+
+// The paper's Dir_4Tree_2 column is internally inconsistent: rows 3 and
+// 6..12 follow N_4(level+1)+1 while rows 4..5 follow ΣN_p(level). Pin
+// down that reconstruction so the discrepancy stays documented.
+func TestTable4Dir4Tree2PaperReconstruction(t *testing.T) {
+	for _, level := range []int{3, 6, 7, 8, 9, 10, 11, 12} {
+		if got, want := PaperColumn(4, level), PaperTable4[level][1]; got != want {
+			t.Errorf("PaperColumn(4,%d) = %d, paper prints %d", level, got, want)
+		}
+	}
+	for _, level := range []int{4, 5} {
+		if got, want := MaxNodes(4, level), PaperTable4[level][1]; got != want {
+			t.Errorf("MaxNodes(4,%d) = %d, paper prints %d", level, got, want)
+		}
+	}
+}
+
+// The paper's Table 4 commentary: a 1024-node system under Dir_4Tree_2
+// needs a 12-level tree, "only one level more than the balanced binary
+// tree" (which needs 11 levels for 1024 > 2^10-1).
+func TestThousandNodeClaim(t *testing.T) {
+	if PaperColumn(4, 12) < 1024 {
+		t.Errorf("paper claims level 12 suffices for 1024 nodes; reconstruction gives %d", PaperColumn(4, 12))
+	}
+	if PaperColumn(4, 11) >= 1024 {
+		t.Errorf("level 11 should not reach 1024 nodes, got %d", PaperColumn(4, 11))
+	}
+	binLevel := 0
+	for BinaryTreeNodes(binLevel) < 1024 {
+		binLevel++
+	}
+	if binLevel != 11 {
+		t.Errorf("binary tree level for 1024 = %d, want 11", binLevel)
+	}
+}
+
+func TestNSmallCases(t *testing.T) {
+	cases := []struct {
+		i, j int
+		want int64
+	}{
+		{1, 1, 1}, {1, 5, 5},
+		{2, 1, 1}, {2, 2, 3}, {2, 3, 6},
+		{3, 3, 7}, {3, 4, 14}, {3, 5, 25},
+		{4, 4, 15}, {4, 5, 30}, {4, 6, 56}, {4, 7, 98},
+	}
+	for _, c := range cases {
+		if got := N(c.i, c.j); got != c.want {
+			t.Errorf("N(%d,%d) = %d, want %d", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestNZeroLevel(t *testing.T) {
+	if N(3, 0) != 0 {
+		t.Error("N(i,0) should be 0")
+	}
+}
+
+func TestDomainPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { N(0, 3) },
+		func() { N(2, -1) },
+		func() { MaxNodes(0, 3) },
+		func() { BinaryTreeNodes(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-domain call did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	if got := LevelFor(2, 9); got != 3 {
+		t.Errorf("LevelFor(2,9) = %d, want 3", got)
+	}
+	if got := LevelFor(2, 10); got != 4 {
+		t.Errorf("LevelFor(2,10) = %d, want 4", got)
+	}
+	if got := LevelFor(4, 1); got != 1 {
+		t.Errorf("LevelFor(4,1) = %d, want 1", got)
+	}
+	if LevelFor(4, 0) != 0 {
+		t.Error("LevelFor(_,0) should be 0")
+	}
+}
+
+// Properties: N is nondecreasing in both arguments, and more pointers
+// record more (or equal) processors at any level.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(iRaw, jRaw uint8) bool {
+		i := int(iRaw%6) + 1
+		j := int(jRaw % 16)
+		if N(i, j) > N(i, j+1) {
+			return false
+		}
+		if N(i, j) > N(i+1, j) {
+			return false
+		}
+		return MaxNodes(i, j) <= MaxNodes(i+1, j) && MaxNodes(i, j) <= MaxNodes(i, j+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a level-j tree can never exceed the perfect binary tree of
+// the same height.
+func TestQuickBinaryBound(t *testing.T) {
+	f := func(iRaw, jRaw uint8) bool {
+		i := int(iRaw%6) + 1
+		j := int(jRaw % 14)
+		return N(i, j) <= BinaryTreeNodes(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 10 || rows[0][0] != 3 || rows[9][0] != 12 {
+		t.Fatalf("Table4 rows malformed: %v", rows)
+	}
+}
+
+func TestBinaryTreeNodesSaturates(t *testing.T) {
+	if got := BinaryTreeNodes(63); got != 1<<63-1 {
+		t.Fatalf("BinaryTreeNodes(63) = %d", got)
+	}
+	if got := BinaryTreeNodes(100); got != 1<<63-1 {
+		t.Fatalf("BinaryTreeNodes(100) = %d, want saturation", got)
+	}
+	if BinaryTreeNodes(62) != (int64(1)<<62)-1 {
+		t.Fatal("BinaryTreeNodes(62) wrong")
+	}
+}
