@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test tier1 vet race bench sweep
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the gate every PR must keep green.
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole suite — including the parallel-vs-sequential
+# determinism regression TestRunExperimentsDeterministic — under the
+# race detector.
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path micro-benchmarks. Save the output before and
+# after a change and compare with benchstat.
+bench:
+	$(GO) test -bench 'EngineScheduleRun|NetworkSend' -benchmem -run '^$$' ./internal/sim ./internal/network
+
+# sweep times the default experiment grid end to end.
+sweep:
+	$(GO) run ./cmd/sweep > /dev/null

@@ -1,17 +1,25 @@
 // Command sweep runs a grid of experiments and emits one CSV row per
 // run, for spreadsheet analysis or plotting.
 //
+// The grid runs on a worker pool (-j, default all cores). Each
+// experiment owns its simulation engine, so results are identical to a
+// sequential run, and rows are emitted in grid order regardless of
+// which experiment finishes first.
+//
 // Usage:
 //
 //	sweep                                        # default grid
 //	sweep -apps floyd,fft -schemes fm,T4 -procs 8,32 -full
-//	sweep -topologies hypercube,torus,bus
+//	sweep -topologies hypercube,torus,bus -j 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,6 +33,7 @@ func main() {
 	topologies := flag.String("topologies", "hypercube", "comma-separated interconnects")
 	full := flag.Bool("full", false, "paper-scale workload parameters")
 	check := flag.Bool("check", false, "enable the coherence monitor")
+	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run in parallel")
 	flag.Parse()
 
 	var sizes []int
@@ -37,34 +46,74 @@ func main() {
 		sizes = append(sizes, v)
 	}
 
-	fmt.Println("app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
-		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles")
+	// The normalized column divides by the full-map scheme's cycles at
+	// the same (app, topology, procs) point. Running fm first keeps the
+	// baseline within the user's requested grid; if fm was excluded via
+	// -schemes there is no baseline, so the column is an explicit NaN
+	// rather than a silent division by zero.
+	schemeList := split(*schemes)
+	hasFM := false
+	for _, s := range schemeList {
+		if s == "fm" {
+			hasFM = true
+		}
+	}
+	if hasFM {
+		schemeList = append([]string{"fm"}, without(schemeList, "fm")...)
+	} else {
+		fmt.Fprintln(os.Stderr, "sweep: warning: \"fm\" not in -schemes; normalized column will be NaN (no baseline)")
+	}
+
+	// Build the grid in output order; the pool may finish experiments
+	// in any order, but RunExperiments returns results in input order.
+	var exps []dircc.Experiment
 	for _, app := range split(*apps) {
 		for _, topo := range split(*topologies) {
 			for _, procs := range sizes {
-				var baseline uint64
-				for _, scheme := range append([]string{"fm"}, without(split(*schemes), "fm")...) {
-					r, err := dircc.RunExperiment(dircc.Experiment{
+				for _, scheme := range schemeList {
+					exps = append(exps, dircc.Experiment{
 						App: app, Protocol: scheme, Procs: procs,
 						Full: *full, Check: *check, Topology: topo,
 					})
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "sweep: %s/%s/%d/%s: %v\n", app, scheme, procs, topo, err)
-						os.Exit(1)
-					}
-					if scheme == "fm" {
-						baseline = r.Cycles
-					}
-					norm := float64(r.Cycles) / float64(baseline)
-					c := r.Counters
-					fmt.Printf("%s,%s,%d,%s,%d,%.4f,%d,%d,%d,%d,%.5f,%d,%d,%d,%d,%.1f,%.1f\n",
-						app, scheme, procs, orDefault(topo, "hypercube"), r.Cycles, norm,
-						c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
-						c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
-						c.AvgReadMissLatency(), c.AvgWriteMissLatency())
 				}
 			}
 		}
+	}
+
+	results := dircc.RunExperiments(context.Background(), exps, *jobs)
+
+	fmt.Println("app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
+		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles")
+	failed := false
+	var baseline uint64 // fm cycles of the current (app, topology, procs) group
+	for i, res := range results {
+		exp := exps[i]
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%d/%s: %v\n",
+				exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"), res.Err)
+			failed = true
+			if exp.Protocol == "fm" {
+				baseline = 0
+			}
+			continue
+		}
+		r := res.Result
+		if exp.Protocol == "fm" {
+			baseline = r.Cycles
+		}
+		norm := math.NaN()
+		if hasFM && baseline != 0 {
+			norm = float64(r.Cycles) / float64(baseline)
+		}
+		c := r.Counters
+		fmt.Printf("%s,%s,%d,%s,%d,%.4f,%d,%d,%d,%d,%.5f,%d,%d,%d,%d,%.1f,%.1f\n",
+			exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"), r.Cycles, norm,
+			c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
+			c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
+			c.AvgReadMissLatency(), c.AvgWriteMissLatency())
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

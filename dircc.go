@@ -48,7 +48,8 @@
 //	})
 //
 // Higher-level experiment drivers reproduce each table and figure of
-// the paper; see RunExperiment, NormalizedTimes, and the cmd/ tools.
+// the paper; see RunExperiment, RunExperiments (a worker pool over a
+// grid), NormalizedTimes, and the cmd/ tools.
 package dircc
 
 import (

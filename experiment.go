@@ -1,6 +1,7 @@
 package dircc
 
 import (
+	"context"
 	"fmt"
 
 	"dircc/internal/apps"
@@ -178,25 +179,30 @@ func ReplayTrace(tr *Trace, protocol string) (*Result, error) {
 
 // NormalizedTimes reproduces one machine-size column of the paper's
 // Figures 8-11: it runs the workload under every scheme and returns
-// execution times normalized to the full-map scheme (fm = 1.0).
+// execution times normalized to the full-map scheme (fm = 1.0). The
+// schemes run concurrently on all cores; each run owns its engine, so
+// the cycle counts match a sequential sweep exactly.
 func NormalizedTimes(app string, procs int, schemes []string, full bool) (map[string]float64, error) {
 	if len(schemes) == 0 {
 		schemes = PaperSchemes()
 	}
-	base, err := RunExperiment(Experiment{App: app, Protocol: "fm", Procs: procs, Full: full})
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]float64{"fm": 1.0}
+	exps := []Experiment{{App: app, Protocol: "fm", Procs: procs, Full: full}}
 	for _, s := range schemes {
 		if s == "fm" {
 			continue
 		}
-		r, err := RunExperiment(Experiment{App: app, Protocol: s, Procs: procs, Full: full})
-		if err != nil {
-			return nil, err
+		exps = append(exps, Experiment{App: app, Protocol: s, Procs: procs, Full: full})
+	}
+	results := RunExperiments(context.Background(), exps, 0)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		out[s] = float64(r.Cycles) / float64(base.Cycles)
+	}
+	base := results[0].Result
+	out := map[string]float64{"fm": 1.0}
+	for i, r := range results[1:] {
+		out[exps[i+1].Protocol] = float64(r.Result.Cycles) / float64(base.Cycles)
 	}
 	return out, nil
 }

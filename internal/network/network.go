@@ -62,19 +62,34 @@ func (c Config) validate() error {
 
 // Network simulates message transport over a Topology.
 type Network struct {
-	eng  *sim.Engine
-	topo topology.Topology
-	cfg  Config
+	eng   *sim.Engine
+	topo  topology.Topology
+	cfg   Config
+	nodes int
 
 	// nextFree times for each serially reusable resource.
 	linkFree   []sim.Time
 	injectFree []sim.Time
 	ejectFree  []sim.Time
 
+	// routes is the precomputed per-pair route table (flattened
+	// src*nodes+dst) used for the small fixed machine sizes; for larger
+	// topologies routeScratch is the reusable buffer RouteTo appends
+	// into. Either way Send computes no route on the heap. The engine
+	// is single-threaded, so one scratch buffer per network suffices.
+	routes       [][]topology.LinkID
+	routeScratch []topology.LinkID
+
 	// accounting
 	sent, delivered uint64
 	counters        *stats.Counters
 }
+
+// routeTableMaxNodes bounds the precomputed route table to machines
+// where the all-pairs table stays small (at most 64*64 routes of at
+// most Diameter links); beyond that Send falls back to the reusable
+// scratch buffer.
+const routeTableMaxNodes = 64
 
 // New builds a network over topo driven by eng, recording traffic into
 // counters (which may be shared with the machine).
@@ -89,12 +104,47 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, counters *stats.Co
 		eng:        eng,
 		topo:       topo,
 		cfg:        cfg,
+		nodes:      topo.Nodes(),
 		linkFree:   make([]sim.Time, len(topo.Links())),
 		injectFree: make([]sim.Time, topo.Nodes()),
 		ejectFree:  make([]sim.Time, topo.Nodes()),
 		counters:   counters,
 	}
+	if n.nodes <= routeTableMaxNodes {
+		// Precompute every route into one backing array; the table
+		// entries are read-only subslices of it. Presizing with the
+		// all-pairs hop sum keeps the table in a single array.
+		total := 0
+		for src := 0; src < n.nodes; src++ {
+			for dst := 0; dst < n.nodes; dst++ {
+				total += topo.Distance(topology.NodeID(src), topology.NodeID(dst))
+			}
+		}
+		backing := make([]topology.LinkID, 0, total)
+		n.routes = make([][]topology.LinkID, n.nodes*n.nodes)
+		for src := 0; src < n.nodes; src++ {
+			for dst := 0; dst < n.nodes; dst++ {
+				start := len(backing)
+				backing = topo.RouteTo(topology.NodeID(src), topology.NodeID(dst), backing)
+				n.routes[src*n.nodes+dst] = backing[start:len(backing):len(backing)]
+			}
+		}
+	} else {
+		n.routeScratch = make([]topology.LinkID, 0, topo.Diameter())
+	}
 	return n, nil
+}
+
+// routeFor returns the route from src to dst without allocating: a
+// route-table lookup on small machines, otherwise RouteTo into the
+// network's scratch buffer. The returned slice is only valid until the
+// next call.
+func (n *Network) routeFor(src, dst topology.NodeID) []topology.LinkID {
+	if n.routes != nil {
+		return n.routes[int(src)*n.nodes+int(dst)]
+	}
+	n.routeScratch = n.topo.RouteTo(src, dst, n.routeScratch[:0])
+	return n.routeScratch
 }
 
 // InFlight reports the number of messages sent but not yet delivered.
@@ -126,7 +176,7 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 	n.sent++
 	svc := n.serviceBytes(bytes)
 	now := n.eng.Now()
-	route := n.topo.Route(src, dst)
+	route := n.routeFor(src, dst)
 	n.counters.CountMsg(typ, bytes, len(route))
 
 	if len(route) == 0 {

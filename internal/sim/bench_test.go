@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures the steady-state cost of one
+// schedule+pop cycle with a realistically deep queue. The engine is the
+// innermost loop of every simulation, so this must be allocation-free:
+// heap storage is reused across iterations and nothing escapes per
+// event.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	const depth = 64 // pending events, roughly one per in-flight message
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			// Vary the delay so events interleave in the heap instead of
+			// draining in insertion order.
+			e.Schedule(Time(remaining%7+1), tick)
+		}
+	}
+	for i := 0; i < depth && remaining > 0; i++ {
+		remaining--
+		e.Schedule(Time(i%7+1), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -6,12 +6,18 @@
 // bit-for-bit reproducible: the same configuration and seed always
 // produce the same event interleaving and therefore the same cycle
 // counts and statistics.
+//
+// The queue is an inlined binary min-heap over a flat []event rather
+// than container/heap: the standard library's interface-typed
+// Push/Pop box every event into an `any`, which puts one heap
+// allocation on the hot path of every Schedule. The inlined heap keeps
+// events in place, reuses the slice's capacity across the run, and
+// preserves the exact (at, seq) total order — the pop sequence is
+// identical to container/heap's, so simulated results are bit-for-bit
+// unchanged.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated clock value in cycles.
 type Time uint64
@@ -23,27 +29,66 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b: earlier timestamp, with the
+// unique sequence number breaking ties FIFO. This is a strict total
+// order, so the heap's pop sequence is fully determined by the set of
+// scheduled events regardless of internal sift order.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// eventQueue is a binary min-heap over a flat event slice with the
+// sift loops inlined (no interface dispatch, no boxing).
+type eventQueue []event
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+// push appends ev and restores the heap invariant.
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the queue does not retain the popped closure (and whatever
+// it captures) beyond its firing.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{}
+	h = h[:last]
+	*q = h
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		min := left
+		if right := left + 1; right < last && h[right].before(h[left]) {
+			min = right
+		}
+		if !h[min].before(h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event scheduler.
@@ -51,7 +96,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
 	stopped bool
 
 	// Executed counts events that have fired; useful for budget limits
@@ -84,7 +129,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		panic("sim: Schedule called with nil fn")
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.queue.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // At runs fn at the absolute instant t. Scheduling in the past panics:
@@ -104,7 +149,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() error {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
@@ -126,7 +171,10 @@ func (e *Engine) RunUntil(deadline Time) (fired uint64, err error) {
 		if e.queue[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
 		e.now = ev.at
 		e.executed++
 		fired++

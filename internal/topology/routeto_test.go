@@ -1,0 +1,76 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRouteToMatchesRoute exhaustively checks, for every (src, dst)
+// pair of every topology family at every size up to 32 nodes, that the
+// allocation-free RouteTo produces exactly the route the independent
+// Route implementation does — including when appending after existing
+// elements in the caller's buffer — and that its length agrees with
+// Distance.
+func TestRouteToMatchesRoute(t *testing.T) {
+	var topos []Topology
+	for dim := 0; dim <= 5; dim++ { // 1..32 nodes
+		topos = append(topos, MustHypercube(dim))
+	}
+	for _, kn := range [][2]int{{2, 2}, {3, 2}, {4, 2}, {5, 2}, {2, 5}, {3, 3}} {
+		topos = append(topos, MustKaryNCube(kn[0], kn[1]))
+	}
+	for _, n := range []int{1, 2, 7, 32} {
+		bus, err := NewBus(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topos = append(topos, bus)
+	}
+
+	for _, topo := range topos {
+		topo := topo
+		t.Run(topo.Name(), func(t *testing.T) {
+			n := topo.Nodes()
+			scratch := make([]LinkID, 0, topo.Diameter())
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					s, d := NodeID(src), NodeID(dst)
+					want := topo.Route(s, d)
+					got := topo.RouteTo(s, d, scratch[:0])
+					if err := sameRoute(want, got); err != nil {
+						t.Fatalf("RouteTo(%d,%d): %v", src, dst, err)
+					}
+					if len(got) != topo.Distance(s, d) {
+						t.Fatalf("RouteTo(%d,%d) has %d hops, Distance says %d",
+							src, dst, len(got), topo.Distance(s, d))
+					}
+					// Appending after a sentinel must leave it intact.
+					pre := topo.RouteTo(s, d, []LinkID{-1})
+					if len(pre) != len(want)+1 || pre[0] != -1 {
+						t.Fatalf("RouteTo(%d,%d) mishandled a non-empty buffer: %v", src, dst, pre)
+					}
+					if err := sameRoute(want, pre[1:]); err != nil {
+						t.Fatalf("RouteTo(%d,%d) with prefix: %v", src, dst, err)
+					}
+					// Grow the scratch the way the network's reusable
+					// buffer does.
+					if cap(got) > cap(scratch) {
+						scratch = got
+					}
+				}
+			}
+		})
+	}
+}
+
+func sameRoute(want, got []LinkID) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("route %v, want %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("route %v, want %v", got, want)
+		}
+	}
+	return nil
+}

@@ -36,6 +36,11 @@ type Topology interface {
 	// Route returns the ordered LinkIDs a message from src to dst
 	// traverses. An empty route means src == dst (local delivery).
 	Route(src, dst NodeID) []LinkID
+	// RouteTo appends the same route to buf and returns the extended
+	// slice. It is Route with caller-controlled allocation: a caller
+	// that reuses buf across messages (as the network's send path
+	// does) computes routes without allocating.
+	RouteTo(src, dst NodeID, buf []LinkID) []LinkID
 	// Distance returns the hop count from src to dst.
 	Distance(src, dst NodeID) int
 	// Diameter returns the maximum distance between any node pair.
@@ -112,6 +117,22 @@ func (h *Hypercube) Route(src, dst NodeID) []LinkID {
 		}
 	}
 	return route
+}
+
+// RouteTo is the allocation-free form of Route: e-cube link IDs are
+// appended to buf in place.
+func (h *Hypercube) RouteTo(src, dst NodeID, buf []LinkID) []LinkID {
+	h.check(src)
+	h.check(dst)
+	cur := int(src)
+	diff := int(src) ^ int(dst)
+	for d := 0; d < h.dim; d++ {
+		if diff&(1<<d) != 0 {
+			buf = append(buf, h.linkAt[cur][d])
+			cur ^= 1 << d
+		}
+	}
+	return buf
 }
 
 func (h *Hypercube) Distance(src, dst NodeID) int {
@@ -245,6 +266,47 @@ func (t *KaryNCube) Route(src, dst NodeID) []LinkID {
 	return route
 }
 
+// RouteTo is the allocation-free form of Route: instead of
+// materializing coordinate vectors it extracts each dimension's digit
+// on the fly (stride = k^d) and walks the node index directly, so the
+// only append target is the caller's buf.
+func (t *KaryNCube) RouteTo(src, dst NodeID, buf []LinkID) []LinkID {
+	t.check(src)
+	t.check(dst)
+	cur := int(src)
+	stride := 1
+	for d := 0; d < t.n; d++ {
+		a := (cur / stride) % t.k
+		b := (int(dst) / stride) % t.k
+		steps := t.ringSteps(a, b)
+		for steps != 0 {
+			if steps > 0 {
+				buf = append(buf, t.linkAt[cur][d][0])
+				if a == t.k-1 {
+					cur -= (t.k - 1) * stride
+					a = 0
+				} else {
+					cur += stride
+					a++
+				}
+				steps--
+			} else {
+				buf = append(buf, t.linkAt[cur][d][1])
+				if a == 0 {
+					cur += (t.k - 1) * stride
+					a = t.k - 1
+				} else {
+					cur -= stride
+					a--
+				}
+				steps++
+			}
+		}
+		stride *= t.k
+	}
+	return buf
+}
+
 func (t *KaryNCube) Distance(src, dst NodeID) int {
 	t.check(src)
 	t.check(dst)
@@ -300,6 +362,16 @@ func (b *Bus) Route(src, dst NodeID) []LinkID {
 		return nil
 	}
 	return []LinkID{0}
+}
+
+// RouteTo is the allocation-free form of Route.
+func (b *Bus) RouteTo(src, dst NodeID, buf []LinkID) []LinkID {
+	b.check(src)
+	b.check(dst)
+	if src == dst {
+		return buf
+	}
+	return append(buf, 0)
 }
 
 func (b *Bus) Distance(src, dst NodeID) int {

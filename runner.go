@@ -1,0 +1,66 @@
+package dircc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ResultOrErr pairs RunExperiment's two return values so a batch can
+// report per-experiment failures without abandoning the rest of the
+// grid.
+type ResultOrErr struct {
+	Result *Result
+	Err    error
+}
+
+// RunExperiments executes a batch of experiments on a worker pool and
+// returns their outcomes in input order, regardless of completion
+// order. parallelism <= 0 selects runtime.NumCPU().
+//
+// Every experiment owns a private engine, machine, and workload
+// instance, and the simulation kernel never shares mutable state across
+// engines, so each Result — cycle counts included — is bit-for-bit
+// identical to what a sequential RunExperiment would produce (the
+// determinism regression test in runner_test.go holds this invariant).
+//
+// Cancelling ctx stops dispatching new experiments; entries that never
+// ran carry ctx's error. Experiments already in flight run to
+// completion (the kernel has no preemption points).
+func RunExperiments(ctx context.Context, exps []Experiment, parallelism int) []ResultOrErr {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > len(exps) {
+		parallelism = len(exps)
+	}
+	out := make([]ResultOrErr, len(exps))
+	if len(exps) == 0 {
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i].Err = err
+					continue
+				}
+				r, err := RunExperiment(exps[i])
+				out[i] = ResultOrErr{Result: r, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,88 @@
+package dircc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRunExperimentsDeterministic is the regression gate for the
+// parallel runner: a grid of 2 apps x 3 schemes x 2 machine sizes run
+// on a worker pool must produce byte-identical Cycles and statistics
+// counters to the same grid run sequentially. Every experiment owns its
+// engine, machine and workload, so parallelism must not perturb a
+// single simulated event.
+func TestRunExperimentsDeterministic(t *testing.T) {
+	var exps []Experiment
+	for _, app := range []string{"lu", "fft"} {
+		for _, scheme := range []string{"fm", "L4", "T4"} {
+			for _, procs := range []int{8, 16} {
+				exps = append(exps, Experiment{App: app, Protocol: scheme, Procs: procs})
+			}
+		}
+	}
+
+	parallel := RunExperiments(context.Background(), exps, 4)
+
+	for i, exp := range exps {
+		if parallel[i].Err != nil {
+			t.Fatalf("%s/%s/%d: %v", exp.App, exp.Protocol, exp.Procs, parallel[i].Err)
+		}
+		seq, err := RunExperiment(exp)
+		if err != nil {
+			t.Fatalf("sequential %s/%s/%d: %v", exp.App, exp.Protocol, exp.Procs, err)
+		}
+		got := parallel[i].Result
+		if got.Experiment != exp {
+			t.Fatalf("result %d is for %+v, want %+v (input order not preserved)", i, got.Experiment, exp)
+		}
+		if got.Cycles != seq.Cycles {
+			t.Errorf("%s/%s/%d: parallel cycles %d != sequential %d",
+				exp.App, exp.Protocol, exp.Procs, got.Cycles, seq.Cycles)
+		}
+		if !reflect.DeepEqual(got.Counters, seq.Counters) {
+			t.Errorf("%s/%s/%d: parallel counters diverge from sequential",
+				exp.App, exp.Protocol, exp.Procs)
+		}
+	}
+}
+
+func TestRunExperimentsReportsPerExperimentErrors(t *testing.T) {
+	exps := []Experiment{
+		{App: "lu", Protocol: "fm", Procs: 8},
+		{App: "no-such-app", Protocol: "fm", Procs: 8},
+		{App: "lu", Protocol: "no-such-scheme", Procs: 8},
+	}
+	out := RunExperiments(context.Background(), exps, 2)
+	if out[0].Err != nil || out[0].Result == nil {
+		t.Errorf("healthy experiment failed: %v", out[0].Err)
+	}
+	if out[1].Err == nil {
+		t.Error("unknown app did not error")
+	}
+	if out[2].Err == nil {
+		t.Error("unknown scheme did not error")
+	}
+}
+
+func TestRunExperimentsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exps := []Experiment{{App: "lu", Protocol: "fm", Procs: 8}}
+	out := RunExperiments(ctx, exps, 1)
+	if !errors.Is(out[0].Err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", out[0].Err)
+	}
+}
+
+func TestRunExperimentsEmptyAndDefaults(t *testing.T) {
+	if out := RunExperiments(context.Background(), nil, 0); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+	// parallelism <= 0 must fall back to NumCPU, nil ctx to Background.
+	out := RunExperiments(nil, []Experiment{{App: "lu", Protocol: "fm", Procs: 8}}, -1)
+	if out[0].Err != nil {
+		t.Errorf("defaulted run failed: %v", out[0].Err)
+	}
+}
