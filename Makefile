@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench sweep
+.PHONY: all build test tier1 vet race bench sweep cover
 
 all: tier1
 
@@ -30,3 +30,11 @@ bench:
 # sweep times the default experiment grid end to end.
 sweep:
 	$(GO) run ./cmd/sweep > /dev/null
+
+# cover writes a merged coverage profile and prints the per-function
+# summary followed by the total.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 25
+	@echo "full per-function report: go tool cover -func=coverage.out"
+	@echo "HTML report:              go tool cover -html=coverage.out"

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale workload parameters")
 	traceFile := flag.String("trace", "", "analyze this trace file instead of recording")
 	blocks := flag.String("blocks", "8", "comma-separated block sizes in bytes")
+	jsonOut := flag.Bool("json", false, "print the analysis as JSON instead of text")
 	flag.Parse()
 
 	var tr *dircc.Trace
@@ -40,7 +42,9 @@ func main() {
 		if terr != nil {
 			fail(terr)
 		}
-		fmt.Printf("trace %s: %d processors, %d events\n\n", *traceFile, tr.Procs, tr.Events())
+		if !*jsonOut {
+			fmt.Printf("trace %s: %d processors, %d events\n\n", *traceFile, tr.Procs, tr.Events())
+		}
 	} else {
 		var err error
 		tr, _, err = dircc.RecordTrace(dircc.Experiment{
@@ -49,8 +53,23 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("workload %s on %d processors: %d events recorded\n\n", *app, *procs, tr.Events())
+		if !*jsonOut {
+			fmt.Printf("workload %s on %d processors: %d events recorded\n\n", *app, *procs, tr.Events())
+		}
 	}
+
+	// patternJSON is one block size's analysis in machine-readable form.
+	type patternJSON struct {
+		BlockBytes int      `json:"block_bytes"`
+		Writes     uint64   `json:"writes"`
+		Reads      uint64   `json:"reads"`
+		Blocks     int      `json:"blocks"`
+		Mean       float64  `json:"mean_invalidation_degree"`
+		MaxSharers int      `json:"max_sharers"`
+		FracLe4    float64  `json:"fraction_le_4"`
+		Degree     []uint64 `json:"degree"`
+	}
+	var jsonRows []patternJSON
 
 	for _, bs := range strings.Split(*blocks, ",") {
 		b, err := strconv.Atoi(strings.TrimSpace(bs))
@@ -58,9 +77,25 @@ func main() {
 			fail(fmt.Errorf("bad block size %q", bs))
 		}
 		p := trace.Analyze(tr, b)
+		if *jsonOut {
+			jsonRows = append(jsonRows, patternJSON{
+				BlockBytes: b, Writes: p.Writes, Reads: p.Reads, Blocks: p.Blocks,
+				Mean: p.Mean(), MaxSharers: p.MaxSharers,
+				FracLe4: p.Fraction(4), Degree: p.Degree,
+			})
+			continue
+		}
 		fmt.Printf("invalidation pattern at %d-byte blocks:\n%s\n", b, p.String())
 		fmt.Printf("  => %.1f%% of writes invalidate <= 4 copies (the paper's i=4 rationale)\n\n",
 			100*p.Fraction(4))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonRows); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -6,11 +6,16 @@
 // sequential run, and rows are emitted in grid order regardless of
 // which experiment finishes first.
 //
+// When stderr is a terminal (or -progress is given), a live
+// completed/total line with per-experiment wall times is printed to
+// stderr; stdout carries only the CSV either way.
+//
 // Usage:
 //
 //	sweep                                        # default grid
 //	sweep -apps floyd,fft -schemes fm,T4 -procs 8,32 -full
 //	sweep -topologies hypercube,torus,bus -j 8
+//	sweep -trace-dir traces -timeseries-dir ts   # per-experiment exports
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -34,6 +40,11 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale workload parameters")
 	check := flag.Bool("check", false, "enable the coherence monitor")
 	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run in parallel")
+	progress := flag.Bool("progress", false, "force live progress on stderr even when it is not a terminal")
+	traceDir := flag.String("trace-dir", "", "write one Chrome trace-event JSON per experiment into this directory")
+	tsDir := flag.String("timeseries-dir", "", "write one time-series CSV per experiment into this directory")
+	sampleEvery := flag.Uint64("sample-every", 10000, "time-series sampling interval in simulated cycles")
+	watchdog := flag.Uint64("watchdog", 0, "per-experiment stall watchdog threshold in cycles (0 = off)")
 	flag.Parse()
 
 	var sizes []int
@@ -64,6 +75,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: warning: \"fm\" not in -schemes; normalized column will be NaN (no baseline)")
 	}
 
+	var oc *dircc.ObsConfig
+	if *traceDir != "" || *tsDir != "" || *watchdog > 0 {
+		oc = &dircc.ObsConfig{Trace: *traceDir != "", StallCycles: *watchdog}
+		if *tsDir != "" {
+			oc.SampleEvery = *sampleEvery
+		}
+		for _, dir := range []string{*traceDir, *tsDir} {
+			if dir == "" {
+				continue
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	// Build the grid in output order; the pool may finish experiments
 	// in any order, but RunExperiments returns results in input order.
 	var exps []dircc.Experiment
@@ -74,13 +102,33 @@ func main() {
 					exps = append(exps, dircc.Experiment{
 						App: app, Protocol: scheme, Procs: procs,
 						Full: *full, Check: *check, Topology: topo,
+						Obs: oc,
 					})
 				}
 			}
 		}
 	}
 
-	results := dircc.RunExperiments(context.Background(), exps, *jobs)
+	// Live progress goes to stderr only when someone is watching: a
+	// redirected stderr (CI logs, cron) stays clean unless -progress
+	// forces it.
+	var onDone func(i int, r dircc.ResultOrErr)
+	if *progress || stderrIsTerminal() {
+		completed := 0
+		onDone = func(i int, r dircc.ResultOrErr) {
+			completed++
+			exp := exps[i]
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s/%s/%d/%s %s in %.2fs\n",
+				completed, len(exps), exp.App, exp.Protocol, exp.Procs,
+				orDefault(exp.Topology, "hypercube"), status, r.Elapsed.Seconds())
+		}
+	}
+
+	results := dircc.RunExperimentsProgress(context.Background(), exps, *jobs, onDone)
 
 	fmt.Println("app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
 		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles")
@@ -111,10 +159,60 @@ func main() {
 			c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
 			c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
 			c.AvgReadMissLatency(), c.AvgWriteMissLatency())
+		if err := writeExports(exp, r, *traceDir, *tsDir); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeExports dumps the experiment's trace and time series (when
+// captured) into the export directories, one file per grid point.
+func writeExports(exp dircc.Experiment, r *dircc.Result, traceDir, tsDir string) error {
+	if r.Probe == nil {
+		return nil
+	}
+	stem := fmt.Sprintf("%s_%s_%d_%s", exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"))
+	if r.Probe.Trace != nil && traceDir != "" {
+		f, err := os.Create(filepath.Join(traceDir, stem+".trace.json"))
+		if err != nil {
+			return err
+		}
+		if err := r.Probe.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if r.Probe.Sampler != nil && tsDir != "" {
+		f, err := os.Create(filepath.Join(tsDir, stem+".timeseries.csv"))
+		if err != nil {
+			return err
+		}
+		if err := r.Probe.Sampler.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stderrIsTerminal reports whether stderr is attached to a character
+// device (a terminal), without cgo or external dependencies.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
 }
 
 func split(s string) []string {

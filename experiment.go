@@ -3,9 +3,12 @@ package dircc
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 
 	"dircc/internal/apps"
 	"dircc/internal/coherent"
+	"dircc/internal/obs"
 	"dircc/internal/proc"
 	"dircc/internal/topology"
 	"dircc/internal/trace"
@@ -44,6 +47,48 @@ type Experiment struct {
 	// HomePageBlocks selects the home-mapping granularity (see
 	// coherent.Config.HomePageBlocks).
 	HomePageBlocks int
+	// Obs selects observability instruments for the run; nil (the
+	// default) disables all probing, preserving the allocation-free hot
+	// path and bit-identical statistics.
+	Obs *ObsConfig
+}
+
+// ObsConfig selects which observability instruments to attach to a
+// run. Probes never perturb the simulation: cycle counts and counters
+// are bit-for-bit identical with any combination enabled.
+type ObsConfig struct {
+	// Trace captures the structured protocol event trace (every message
+	// send/deliver, state transition, and transaction boundary).
+	Trace bool
+	// SampleEvery snapshots counter deltas every N simulated cycles;
+	// 0 disables the time-series sampler.
+	SampleEvery uint64
+	// StallCycles arms the stall watchdog: if no processor makes
+	// forward progress for this many cycles, the machine state is
+	// dumped to WatchdogOut. 0 disables the watchdog.
+	StallCycles uint64
+	// WatchdogOut receives watchdog reports; defaults to os.Stderr.
+	WatchdogOut io.Writer
+}
+
+// probe builds the obs.Probe described by the config, reading counter
+// snapshots from ctr.
+func (oc *ObsConfig) probe(ctr *Counters) *obs.Probe {
+	p := &obs.Probe{}
+	if oc.Trace {
+		p.Trace = obs.NewTrace()
+	}
+	if oc.SampleEvery > 0 {
+		p.Sampler = obs.NewSampler(ctr, oc.SampleEvery)
+	}
+	if oc.StallCycles > 0 {
+		out := oc.WatchdogOut
+		if out == nil {
+			out = os.Stderr
+		}
+		p.Watchdog = obs.NewWatchdog(oc.StallCycles, out)
+	}
+	return p
 }
 
 // Result is the outcome of one experiment.
@@ -53,6 +98,9 @@ type Result struct {
 	Cycles uint64
 	// Counters holds the full statistics of the run.
 	Counters *Counters
+	// Probe holds the observability instruments attached via
+	// Experiment.Obs (trace, sampler, watchdog); nil when none were.
+	Probe *obs.Probe
 }
 
 // RunExperiment executes one experiment and verifies the workload's
@@ -79,6 +127,11 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var probe *obs.Probe
+	if exp.Obs != nil {
+		probe = exp.Obs.probe(m.Ctr)
+		m.AttachProbe(probe)
+	}
 	body, check := app.Prepare(m)
 	cycles, err := proc.Run(m, body)
 	if err != nil {
@@ -87,7 +140,7 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	if err := check(); err != nil {
 		return nil, fmt.Errorf("dircc: %s/%s/%d produced a wrong answer: %w", exp.App, exp.Protocol, exp.Procs, err)
 	}
-	return &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr}, nil
+	return &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr, Probe: probe}, nil
 }
 
 // newMachineFor builds a machine on the named interconnect.

@@ -13,9 +13,12 @@ package coherent
 
 import (
 	"fmt"
+	"io"
+	"sort"
 
 	"dircc/internal/cache"
 	"dircc/internal/network"
+	"dircc/internal/obs"
 	"dircc/internal/sim"
 	"dircc/internal/stats"
 	"dircc/internal/topology"
@@ -113,6 +116,10 @@ type Machine struct {
 	Ctr   *stats.Counters
 	Store *Store
 	Mon   *Monitor // nil unless Cfg.Check
+	// Probe is the observability layer; nil (the default) disables all
+	// probing at the cost of one nil check per instrumented site.
+	// Attach it with AttachProbe, before running the workload.
+	Probe *obs.Probe
 
 	proto Engine
 
@@ -198,6 +205,129 @@ func NewMachineOn(cfg Config, proto Engine, topo topology.Topology) (*Machine, e
 // Protocol returns the attached engine.
 func (m *Machine) Protocol() Engine { return m.proto }
 
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+// AttachProbe installs the observability layer: the machine's hooks
+// start feeding p, the kernel ticks it per event, and the network
+// reports transport timing. A watchdog without a dump function gets
+// the machine's state dump. Call before running the workload.
+func (m *Machine) AttachProbe(p *obs.Probe) {
+	m.Probe = p
+	if p == nil {
+		m.Eng.SetProbe(nil)
+		m.Net.SetProbe(nil)
+		return
+	}
+	m.Eng.SetProbe(func(t sim.Time) { p.Tick(uint64(t)) })
+	if p.Sampler != nil {
+		m.Net.SetProbe(func(start, arrive, unloaded sim.Time) {
+			p.NetSend(uint64(start), uint64(arrive), uint64(unloaded))
+		})
+	}
+	if p.Watchdog != nil && p.Watchdog.Dump == nil {
+		p.Watchdog.Dump = m.DumpState
+	}
+}
+
+// Tracing reports whether an event trace is attached. Engines guard
+// label construction with it so disabled-mode stays allocation-free.
+func (m *Machine) Tracing() bool { return m.Probe != nil && m.Probe.Trace != nil }
+
+// TraceDir records a directory transition for block b; label is a
+// protocol-specific description. Callers must guard with Tracing()
+// when the label requires formatting.
+func (m *Machine) TraceDir(b BlockID, label string) {
+	if m.Probe != nil {
+		m.Probe.DirState(uint64(m.Eng.Now()), int(m.Home(b)), uint64(b), label)
+	}
+}
+
+// TraceState records a cache-line state transition at node n.
+func (m *Machine) TraceState(n NodeID, b BlockID, from, to cache.State) {
+	if m.Probe != nil {
+		m.Probe.CacheState(uint64(m.Eng.Now()), int(n), uint64(b), from.String(), to.String())
+	}
+}
+
+// Invalidate removes node n's copy of block b (if any), recording the
+// state transition in the trace. Engines use it instead of touching
+// the cache directly so the probe layer sees every invalidation.
+func (m *Machine) Invalidate(n NodeID, b BlockID) (cache.State, bool) {
+	st, ok := m.Nodes[n].Cache.Invalidate(b)
+	if ok && m.Probe != nil {
+		m.Probe.CacheState(uint64(m.Eng.Now()), int(n), uint64(b), st.String(), cache.Invalid.String())
+	}
+	return st, ok
+}
+
+// DumpState writes a stall-diagnosis snapshot: outstanding
+// transactions, busy home gates with their queues, in-flight message
+// count, and the directory entries of every involved block. The
+// watchdog invokes it when it fires.
+func (m *Machine) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "machine state at cycle %d (%s, %d procs): %d messages in flight\n",
+		m.Eng.Now(), m.proto.Name(), m.Cfg.Procs, m.Net.InFlight())
+	blocks := make(map[BlockID]bool)
+	for n, txns := range m.txns {
+		keys := make([]BlockID, 0, len(txns))
+		for b := range txns {
+			keys = append(keys, b)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, b := range keys {
+			txn := txns[b]
+			kind := "read"
+			if txn.Write {
+				kind = "write"
+			}
+			fmt.Fprintf(w, "  node %d: outstanding %s on block %d (issued %d, served=%v, %d deferred)\n",
+				n, kind, b, txn.Issued, txn.Served, len(txn.Deferred))
+			blocks[b] = true
+		}
+	}
+	gateBlocks := make([]BlockID, 0, len(m.gates))
+	for b := range m.gates {
+		gateBlocks = append(gateBlocks, b)
+	}
+	sort.Slice(gateBlocks, func(i, j int) bool { return gateBlocks[i] < gateBlocks[j] })
+	for _, b := range gateBlocks {
+		g := m.gates[b]
+		if !g.busy && len(g.queue) == 0 {
+			continue
+		}
+		types := make([]string, 0, len(g.queue))
+		for _, q := range g.queue {
+			types = append(types, fmt.Sprintf("%s from %d", q.Type, q.Requester))
+		}
+		fmt.Fprintf(w, "  gate block %d: busy=%v, %d queued %v\n", b, g.busy, len(g.queue), types)
+		blocks[b] = true
+	}
+	dirBlocks := make([]BlockID, 0, len(blocks))
+	for b := range blocks {
+		dirBlocks = append(dirBlocks, b)
+	}
+	sort.Slice(dirBlocks, func(i, j int) bool { return dirBlocks[i] < dirBlocks[j] })
+	bd, _ := m.proto.(BlockDumper)
+	for _, b := range dirBlocks {
+		switch {
+		case bd != nil:
+			fmt.Fprintf(w, "  dir block %d (home %d): %s\n", b, m.Home(b), bd.DescribeBlock(b))
+		case m.dir[b] != nil:
+			fmt.Fprintf(w, "  dir block %d (home %d): %v\n", b, m.Home(b), m.dir[b])
+		}
+	}
+}
+
+// BlockDumper is implemented by protocol engines that can describe
+// their per-block directory state for stall diagnostics. All engines
+// in this repository implement it; the machine degrades gracefully if
+// a third-party engine does not.
+type BlockDumper interface {
+	DescribeBlock(b BlockID) string
+}
+
 // Home returns the home node of block b: block-interleaved by default,
 // page-interleaved when Config.HomePageBlocks > 1.
 func (m *Machine) Home(b BlockID) NodeID {
@@ -264,6 +394,9 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		if m.Mon != nil {
 			m.Mon.OnReadHit(n, b, v)
 		}
+		if m.Probe != nil {
+			m.Probe.Progress(uint64(m.Eng.Now()))
+		}
 		m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(v) })
 		return
 	}
@@ -275,6 +408,9 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		// The exclusive owner is the serialization point for its own
 		// writes; the authoritative image follows it.
 		m.Store.OwnerWrite(b, value)
+		if m.Probe != nil {
+			m.Probe.Progress(uint64(m.Eng.Now()))
+		}
 		m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(old) })
 		return
 	}
@@ -309,6 +445,9 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		done:   done,
 	}
 	m.txns[n][b] = txn
+	if m.Probe != nil {
+		m.Probe.TxnStart(uint64(m.Eng.Now()), int(n), uint64(b), write)
+	}
 	// The miss is detected after one cache access.
 	m.Eng.Schedule(m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
 }
@@ -357,6 +496,9 @@ func (m *Machine) AccessRMW(n NodeID, addr uint64, f func(old uint64) uint64, do
 		done:   done,
 	}
 	m.txns[n][b] = txn
+	if m.Probe != nil {
+		m.Probe.TxnStart(uint64(m.Eng.Now()), int(n), uint64(b), true)
+	}
 	m.Eng.Schedule(m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
 }
 
@@ -387,6 +529,10 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 		}
 	}
 
+	if m.Probe != nil {
+		m.Probe.TxnEnd(uint64(m.Eng.Now()), int(txn.Node), uint64(txn.Block), txn.Write)
+	}
+
 	delete(m.txns[txn.Node], txn.Block)
 	deferred := txn.Deferred
 	txn.Deferred = nil
@@ -408,12 +554,20 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 
 // Send transmits msg over the network and dispatches it on arrival.
 func (m *Machine) Send(msg *Msg) {
+	if m.Probe != nil {
+		msg.probeID = m.Probe.MsgSend(uint64(m.Eng.Now()), msg.Type.String(),
+			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester))
+	}
 	m.Net.Send(msg.Type.String(), msg.Src, msg.Dst, msg.Bytes(m.Cfg), func() {
 		m.dispatch(msg)
 	})
 }
 
 func (m *Machine) dispatch(msg *Msg) {
+	if m.Probe != nil {
+		m.Probe.MsgDeliver(uint64(m.Eng.Now()), msg.probeID, msg.Type.String(),
+			int(msg.Src), int(msg.Dst), uint64(msg.Block))
+	}
 	if !msg.ToDir {
 		m.proto.CacheMsg(m, msg)
 		return
@@ -429,10 +583,24 @@ func (m *Machine) dispatch(msg *Msg) {
 	}
 	if g.busy {
 		m.Ctr.DirectoryBusy++
+		if m.Probe != nil {
+			m.Probe.GateWait(uint64(m.Eng.Now()), int(msg.Dst), uint64(msg.Block), msg.Type.String())
+		}
 		g.queue = append(g.queue, msg)
 		return
 	}
 	g.busy = true
+	m.startHome(msg)
+}
+
+// startHome marks the serialization point of a gated request — the
+// home gate is held — and hands it to the engine. A gated write
+// starting here opens a new invalidation wave in the trace.
+func (m *Machine) startHome(msg *Msg) {
+	if m.Probe != nil {
+		m.Probe.HomeStart(uint64(m.Eng.Now()), int(msg.Dst), uint64(msg.Block),
+			msg.Type.String(), int(msg.Requester))
+	}
 	m.proto.HomeRequest(m, msg)
 }
 
@@ -452,7 +620,7 @@ func (m *Machine) ReleaseHome(b BlockID) {
 	g.queue = g.queue[1:]
 	// Process the queued request as a fresh arrival (zero-delay event
 	// so the current handler unwinds first).
-	m.Eng.Schedule(0, func() { m.proto.HomeRequest(m, next) })
+	m.Eng.Schedule(0, func() { m.startHome(next) })
 }
 
 // HomeGateBusy reports whether block b's gate is held (test helper).
@@ -497,8 +665,24 @@ func (m *Machine) SerializeWrite(msg *Msg) {
 
 // Quiesce runs the simulation until the event queue drains and then
 // performs end-of-run monitor checks. It returns the monitor errors (if
-// checking is enabled) or the engine error.
+// checking is enabled) or the engine error. A drain that leaves work
+// outstanding — a lost message, an abandoned transaction, a held gate —
+// is a protocol deadlock; the watchdog (when attached) dumps the
+// machine state before the error is returned.
 func (m *Machine) Quiesce() error {
+	err := m.quiesce()
+	if m.Probe != nil {
+		if err != nil && m.Probe.Watchdog != nil {
+			m.Probe.Watchdog.FireDrain(uint64(m.Eng.Now()), err.Error())
+		}
+		if m.Probe.Sampler != nil {
+			m.Probe.Sampler.Flush(uint64(m.Eng.Now()))
+		}
+	}
+	return err
+}
+
+func (m *Machine) quiesce() error {
 	if err := m.Eng.Run(); err != nil {
 		return err
 	}

@@ -123,6 +123,10 @@ type Msg struct {
 	// Gated routes a directory-bound message through the per-block
 	// home gate (request serialization).
 	Gated bool
+
+	// probeID links this message's send and deliver events in the
+	// observability trace; zero when probes are off.
+	probeID int64
 }
 
 // NoNode is the sentinel for "no node" in Aux and pointer slots.

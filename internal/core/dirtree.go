@@ -50,6 +50,8 @@ type slot struct {
 	level int
 }
 
+func (s slot) String() string { return fmt.Sprintf("%d@l%d", s.node, s.level) }
+
 type entry struct {
 	state dirState
 	slots []slot
@@ -248,6 +250,9 @@ func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 		en.state = shared
 	}
 	b := msg.Block
+	if m.Tracing() {
+		m.TraceDir(b, fmt.Sprintf("reader %d adopts %v, %d roots", req, handoff, len(en.slots)))
+	}
 	m.ReadMem(func() {
 		if txn := m.Txn(req, b); txn != nil && !txn.Write {
 			// The reply (possibly carrying adopted children) is now in
@@ -355,6 +360,9 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 		}
 		roots = append(roots, s)
 	}
+	if m.Tracing() {
+		m.TraceDir(b, fmt.Sprintf("writer %d: inv wave over %d roots", msg.Requester, len(roots)))
+	}
 	for idx, s := range roots {
 		inv := &coherent.Msg{
 			Type: waveType, Src: home, Dst: s.node, Block: b,
@@ -404,6 +412,13 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 		en.state = dirty
 		en.owner = msg.Requester
 		en.slots = []slot{{node: msg.Requester, level: 1}}
+	}
+	if m.Tracing() {
+		if e.opts.Update {
+			m.TraceDir(b, fmt.Sprintf("update committed, writer %d, %d roots", msg.Requester, len(en.slots)))
+		} else {
+			m.TraceDir(b, fmt.Sprintf("dirty owner %d", en.owner))
+		}
 	}
 	m.ReadMem(func() {
 		m.Send(&coherent.Msg{
@@ -507,7 +522,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			return // dangling edge; subtree already gone
 		}
 		children := childrenOf(ln)
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(n, msg.Block)
 		e.mergeTombs(aggKey{n, msg.Block}, children)
 		e.sendReplaceInv(m, n, msg.Block, children)
 	case coherent.MsgWbReq:
@@ -517,9 +532,10 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		}
 		data := ln.Val
 		if msg.Write {
-			node.Cache.Invalidate(msg.Block)
+			m.Invalidate(n, msg.Block)
 		} else {
 			ln.State = cache.Valid
+			m.TraceState(n, msg.Block, cache.Exclusive, cache.Valid)
 		}
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
@@ -569,7 +585,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 		if update {
 			ln.Val = msg.Data
 		} else {
-			node.Cache.Invalidate(msg.Block)
+			m.Invalidate(n, msg.Block)
 		}
 	}
 	if t, ok := e.tombs[key]; ok {
@@ -696,6 +712,31 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 		})
 	}
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics:
+// directory state, tree roots with heights, and any pending home
+// transaction with its remaining ack count.
+func (e *Engine) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	var st string
+	switch en.state {
+	case uncached:
+		st = "uncached"
+	case shared:
+		st = "shared"
+	case dirty:
+		st = "dirty"
+	}
+	s := fmt.Sprintf("%s owner=%d roots=%v", st, en.owner, en.slots)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d, stage=%d, wbFrom=%d, acksLeft=%d}",
+			p.req.Type, p.req.Requester, p.stage, p.wbFrom, p.acksLeft)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine using the paper's formula

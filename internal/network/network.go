@@ -83,6 +83,14 @@ type Network struct {
 	// accounting
 	sent, delivered uint64
 	counters        *stats.Counters
+
+	// probe, when non-nil, observes each message's transport timing:
+	// injection instant, computed arrival instant, and the latency an
+	// idle network would have given it. The difference is the cycles
+	// spent queued behind busy links and interface ports — the
+	// contention signal the observability layer samples. One nil check
+	// per Send when disabled.
+	probe func(start, arrive, unloaded sim.Time)
 }
 
 // routeTableMaxNodes bounds the precomputed route table to machines
@@ -147,6 +155,10 @@ func (n *Network) routeFor(src, dst topology.NodeID) []topology.LinkID {
 	return n.routeScratch
 }
 
+// SetProbe installs (or, with nil, removes) the transport-timing
+// observer.
+func (n *Network) SetProbe(fn func(start, arrive, unloaded sim.Time)) { n.probe = fn }
+
 // InFlight reports the number of messages sent but not yet delivered.
 func (n *Network) InFlight() uint64 { return n.sent - n.delivered }
 
@@ -184,6 +196,9 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 		start := maxTime(now, n.injectFree[src])
 		n.injectFree[src] = start + svc
 		arrive := start + n.cfg.LocalDelay + svc
+		if n.probe != nil {
+			n.probe(now, arrive, n.cfg.LocalDelay+svc)
+		}
 		n.eng.At(arrive, func() {
 			n.delivered++
 			deliver()
@@ -208,6 +223,9 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 	ejectStart := maxTime(head, n.ejectFree[dst])
 	n.ejectFree[dst] = ejectStart + svc
 	arrive := ejectStart + svc
+	if n.probe != nil {
+		n.probe(now, arrive, sim.Time(len(route))*n.cfg.HopDelay+svc)
+	}
 	n.eng.At(arrive, func() {
 		n.delivered++
 		deliver()

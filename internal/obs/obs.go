@@ -1,0 +1,140 @@
+// Package obs is the simulator's observability layer: a structured
+// protocol event trace, a time-series sampler over the statistics
+// counters, and a stall watchdog for protocol-deadlock diagnosis.
+//
+// The layer is designed around one invariant: when disabled it costs
+// nothing on the hot path. The machine holds a single *Probe pointer
+// that is nil by default; every instrumentation site is a plain nil
+// check with no interface dispatch and no argument evaluation (label
+// strings are only built behind Tracing()-style guards). A second
+// invariant is that probes never perturb the simulation: no component
+// schedules events, so enabling a trace cannot change a single cycle
+// count. The sampler and watchdog piggyback on events that already
+// fire (see Probe.Tick), which keeps the event queue — and therefore
+// the simulated timeline — bit-for-bit identical with probes on or
+// off.
+package obs
+
+// Probe bundles the enabled observability components. Any field may be
+// nil; a Probe with all components nil is valid but pointless — leave
+// the machine's probe pointer nil instead.
+type Probe struct {
+	Trace    *Trace
+	Sampler  *Sampler
+	Watchdog *Watchdog
+}
+
+// Tick is called by the simulation kernel once per fired event, with
+// the (possibly advanced) simulated clock. It drives the lazy sampler
+// and the stall check without scheduling anything itself.
+func (p *Probe) Tick(now uint64) {
+	if p.Sampler != nil {
+		p.Sampler.Advance(now)
+	}
+	if p.Watchdog != nil {
+		p.Watchdog.Check(now)
+	}
+}
+
+// MsgSend records a coherence message entering the network and returns
+// an identifier the matching MsgDeliver must echo (0 when no trace is
+// attached). Invalidation-type messages are tagged with the block's
+// current write wave and counted toward the watchdog's hot-block
+// table.
+func (p *Probe) MsgSend(now uint64, typ string, src, dst int, block uint64, requester int) int64 {
+	if p.Watchdog != nil && (typ == "Inv" || typ == "Update" || typ == "ReplaceInv") {
+		p.Watchdog.NoteInv(block)
+	}
+	if p.Trace == nil {
+		return 0
+	}
+	// Only gate-serialized wave members carry a wave tag; Replace_INV
+	// teardowns are replacement-driven and orthogonal to write waves.
+	wave := typ == "Inv" || typ == "Update"
+	return p.Trace.addSend(now, typ, src, dst, block, requester, wave)
+}
+
+// MsgDeliver records the arrival of the message identified by id.
+func (p *Probe) MsgDeliver(now uint64, id int64, typ string, src, dst int, block uint64) {
+	if p.Trace != nil {
+		p.Trace.add(Event{At: now, Kind: KindDeliver, Type: typ, Src: src, Dst: dst, Block: block, ID: id})
+	}
+}
+
+// NetSend records network-level transport timing for one message:
+// start is the injection instant, arrive the computed delivery instant,
+// and unloaded the latency an idle network would have given it. The
+// difference feeds the sampler's contention column.
+func (p *Probe) NetSend(start, arrive, unloaded uint64) {
+	if p.Sampler != nil {
+		p.Sampler.noteNet(arrive - start - min64(unloaded, arrive-start))
+	}
+}
+
+// TxnStart records a processor miss transaction beginning at a node.
+func (p *Probe) TxnStart(now uint64, node int, block uint64, write bool) {
+	if p.Trace != nil {
+		p.Trace.add(Event{At: now, Kind: KindTxnStart, Src: node, Dst: node, Block: block, Write: write})
+	}
+}
+
+// TxnEnd records a miss transaction completing. It counts as forward
+// progress for the watchdog.
+func (p *Probe) TxnEnd(now uint64, node int, block uint64, write bool) {
+	if p.Trace != nil {
+		p.Trace.add(Event{At: now, Kind: KindTxnEnd, Src: node, Dst: node, Block: block, Write: write})
+	}
+	if p.Watchdog != nil {
+		p.Watchdog.Progress(now)
+	}
+}
+
+// Progress marks processor forward progress that is not a miss
+// completion (cache hits retiring).
+func (p *Probe) Progress(now uint64) {
+	if p.Watchdog != nil {
+		p.Watchdog.Progress(now)
+	}
+}
+
+// CacheState records a cache-line state transition at a node.
+func (p *Probe) CacheState(now uint64, node int, block uint64, from, to string) {
+	if p.Trace != nil {
+		p.Trace.add(Event{At: now, Kind: KindCacheState, Src: node, Dst: node, Block: block, Label: from + "->" + to})
+	}
+}
+
+// DirState records a directory transition at a block's home node. The
+// label is protocol-specific ("uncached->shared", "merge l2", ...);
+// callers must only build it when tracing is enabled.
+func (p *Probe) DirState(now uint64, home int, block uint64, label string) {
+	if p.Trace != nil {
+		p.Trace.add(Event{At: now, Kind: KindDirState, Src: home, Dst: home, Block: block, Label: label})
+	}
+}
+
+// GateWait records a gated request queuing behind a busy home gate.
+func (p *Probe) GateWait(now uint64, home int, block uint64, typ string) {
+	if p.Trace != nil {
+		p.Trace.add(Event{At: now, Kind: KindGateWait, Type: typ, Src: home, Dst: home, Block: block})
+	}
+}
+
+// HomeStart records the home beginning to process a gated request. A
+// gated write starting is the serialization point that opens a new
+// invalidation wave on the block.
+func (p *Probe) HomeStart(now uint64, home int, block uint64, typ string, requester int) {
+	if p.Trace != nil {
+		if typ == "WriteReq" {
+			p.Trace.bumpWave(block)
+		}
+		p.Trace.add(Event{At: now, Kind: KindHomeStart, Type: typ, Src: home, Dst: home, Block: block, Req: requester})
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Watchdog detects simulations that have stopped making progress and
+// dumps enough machine state to diagnose why. Two triggers:
+//
+//   - stall: no processor has retired an operation (hit or miss
+//     completion) for Stall simulated cycles while events keep firing —
+//     the livelock signature (e.g. a spinning ticket lock whose holder
+//     is wedged);
+//   - drain: the event queue emptied with transactions still
+//     outstanding or messages in flight — the deadlock signature (a
+//     lost ack, a gate never released). The machine reports this from
+//     Quiesce via FireDrain.
+//
+// Like the sampler, the watchdog schedules nothing: Probe.Tick checks
+// it on events that already fire, so an enabled watchdog cannot change
+// simulated results.
+type Watchdog struct {
+	// Stall is the progress-free cycle budget before firing (0
+	// disables the stall check; drain reporting still works).
+	Stall uint64
+	// Out receives the diagnostic report.
+	Out io.Writer
+	// Dump, when non-nil, is invoked after the report header to print
+	// machine state (outstanding transactions, busy gates, directory
+	// entries). The machine wires this to avoid an import cycle.
+	Dump func(w io.Writer)
+	// TopK bounds the hottest-blocks table (default 10).
+	TopK int
+
+	lastProgress uint64
+	fired        bool
+	drained      bool
+	invCount     map[uint64]uint64
+}
+
+// NewWatchdog returns a watchdog writing to out that fires after
+// stall progress-free cycles.
+func NewWatchdog(stall uint64, out io.Writer) *Watchdog {
+	return &Watchdog{Stall: stall, Out: out, invCount: make(map[uint64]uint64)}
+}
+
+// Progress records that a processor retired an operation at now.
+func (w *Watchdog) Progress(now uint64) {
+	w.lastProgress = now
+	w.fired = false
+}
+
+// NoteInv counts an invalidation-type message on block, feeding the
+// hottest-blocks table.
+func (w *Watchdog) NoteInv(block uint64) {
+	if w.invCount == nil {
+		w.invCount = make(map[uint64]uint64)
+	}
+	w.invCount[block]++
+}
+
+// Stalled reports whether the stall trigger has fired.
+func (w *Watchdog) Stalled() bool { return w.fired }
+
+// Drained reports whether the drain trigger has fired.
+func (w *Watchdog) Drained() bool { return w.drained }
+
+// Check fires the stall report once per progress-free episode.
+func (w *Watchdog) Check(now uint64) {
+	if w.Stall == 0 || w.fired || now < w.lastProgress+w.Stall {
+		return
+	}
+	w.fired = true
+	w.report(fmt.Sprintf("no processor retired an operation for %d cycles (last progress at %d, now %d)",
+		now-w.lastProgress, w.lastProgress, now))
+}
+
+// FireDrain reports a drained event queue with outstanding work.
+func (w *Watchdog) FireDrain(now uint64, reason string) {
+	if w.drained {
+		return
+	}
+	w.drained = true
+	w.report(fmt.Sprintf("event queue drained at cycle %d with outstanding work: %s", now, reason))
+}
+
+func (w *Watchdog) report(headline string) {
+	out := w.Out
+	if out == nil {
+		return
+	}
+	fmt.Fprintf(out, "\n=== watchdog: %s ===\n", headline)
+	topK := w.TopK
+	if topK <= 0 {
+		topK = 10
+	}
+	hot := topBlocks(w.invCount, topK)
+	if len(hot) > 0 {
+		fmt.Fprintf(out, "hottest blocks by invalidation count:\n")
+		for _, h := range hot {
+			fmt.Fprintf(out, "  block %-8d %d invalidations\n", h.Block, h.Count)
+		}
+	}
+	if w.Dump != nil {
+		w.Dump(out)
+	}
+	fmt.Fprintf(out, "=== end watchdog report ===\n")
+}

@@ -12,6 +12,7 @@
 package fullmap
 
 import (
+	"fmt"
 	"sort"
 
 	"dircc/internal/cache"
@@ -25,6 +26,18 @@ const (
 	shared
 	dirty
 )
+
+func (s dirState) String() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case shared:
+		return "shared"
+	case dirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
 
 // entry is the per-block directory record.
 type entry struct {
@@ -115,6 +128,9 @@ func (e *Engine) serveRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	if en.state == uncached {
 		en.state = shared
 	}
+	if m.Tracing() {
+		m.TraceDir(b, fmt.Sprintf("%s +sharer %d (%d sharers)", en.state, msg.Requester, len(en.sharers)))
+	}
 	if en.state == dirty && en.owner == msg.Requester {
 		// The owner's copy was silently... it cannot re-read while
 		// owning: an eviction writeback always precedes this request
@@ -167,6 +183,9 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	en.state = dirty
 	en.owner = msg.Requester
 	en.sharers = map[coherent.NodeID]bool{msg.Requester: true}
+	if m.Tracing() {
+		m.TraceDir(b, fmt.Sprintf("dirty owner %d", en.owner))
+	}
 	// The gate stays held until the writer confirms installation
 	// (WM_LIP ends when the write performs); the writer-side handler
 	// releases it. This keeps write serialization windows disjoint.
@@ -244,7 +263,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	case coherent.MsgInv:
 		// Invalidate if present; always acknowledge (presence bits may
 		// be stale after silent replacement).
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(n, msg.Block)
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInvAck, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
 			Requester: msg.Requester, ToDir: true, Aux: coherent.NoNode,
@@ -259,10 +278,11 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		data := ln.Val
 		if msg.Write {
 			// WM_WW recall: give up the line entirely.
-			node.Cache.Invalidate(msg.Block)
+			m.Invalidate(n, msg.Block)
 		} else {
 			// RM_WW recall: demote to a shared copy.
 			ln.State = cache.Valid
+			m.TraceState(n, msg.Block, cache.Exclusive, cache.Valid)
 		}
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
@@ -283,6 +303,25 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 		Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
 		HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode,
 	})
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics.
+func (e *Engine) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	sharers := make([]coherent.NodeID, 0, len(en.sharers))
+	for n := range en.sharers {
+		sharers = append(sharers, n)
+	}
+	sort.Slice(sharers, func(i, j int) bool { return sharers[i] < sharers[j] })
+	s := fmt.Sprintf("%s owner=%d sharers=%v", en.state, en.owner, sharers)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d, wantWb=%d, acksLeft=%d}",
+			p.req.Type, p.req.Requester, p.wantWb, p.acksLeft)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine: B·n bits per node's blocks

@@ -28,6 +28,18 @@ const (
 	dirty
 )
 
+func (s dirState) String() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case shared:
+		return "shared"
+	case dirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
+
 type entry struct {
 	state     dirState
 	ptrs      []coherent.NodeID // at most i recorded sharers
@@ -327,7 +339,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, nil)
 		m.ReleaseHome(msg.Block)
 	case coherent.MsgInv:
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(n, msg.Block)
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInvAck, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
 			Requester: msg.Requester, ToDir: true, Aux: coherent.NoNode,
@@ -339,9 +351,10 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		}
 		data := ln.Val
 		if msg.Write {
-			node.Cache.Invalidate(msg.Block)
+			m.Invalidate(n, msg.Block)
 		} else {
 			ln.State = cache.Valid
+			m.TraceState(n, msg.Block, cache.Exclusive, cache.Valid)
 		}
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
@@ -362,6 +375,20 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 		Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
 		HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode,
 	})
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics.
+func (e *Engine) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	s := fmt.Sprintf("%s owner=%d ptrs=%v broadcast=%v", en.state, en.owner, en.ptrs, en.broadcast)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d, stage=%d, wbFrom=%d, acksLeft=%d}",
+			p.req.Type, p.req.Requester, p.stage, p.wbFrom, p.acksLeft)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine using the paper's

@@ -16,6 +16,7 @@ package limitless
 
 import (
 	"fmt"
+	"sort"
 
 	"dircc/internal/cache"
 	"dircc/internal/coherent"
@@ -29,6 +30,18 @@ const (
 	shared
 	dirty
 )
+
+func (s dirState) String() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case shared:
+		return "shared"
+	case dirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
 
 type entry struct {
 	state dirState
@@ -323,7 +336,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, nil)
 		m.ReleaseHome(msg.Block)
 	case coherent.MsgInv:
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(n, msg.Block)
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInvAck, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
 			Requester: msg.Requester, ToDir: true, Aux: coherent.NoNode,
@@ -335,9 +348,10 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		}
 		data := ln.Val
 		if msg.Write {
-			node.Cache.Invalidate(msg.Block)
+			m.Invalidate(n, msg.Block)
 		} else {
 			ln.State = cache.Valid
+			m.TraceState(n, msg.Block, cache.Exclusive, cache.Valid)
 		}
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
@@ -357,6 +371,25 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 		Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
 		HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode,
 	})
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics.
+func (e *Engine) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	sw := make([]coherent.NodeID, 0, len(en.sw))
+	for n := range en.sw {
+		sw = append(sw, n)
+	}
+	sort.Slice(sw, func(i, j int) bool { return sw[i] < sw[j] })
+	s := fmt.Sprintf("%s owner=%d hw=%v sw=%v", en.state, en.owner, en.hw, sw)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d, stage=%d, wbFrom=%d, acksLeft=%d}",
+			p.req.Type, p.req.Requester, p.stage, p.wbFrom, p.acksLeft)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine: only the hardware pointers

@@ -1,6 +1,8 @@
 package list
 
 import (
+	"fmt"
+
 	"dircc/internal/cache"
 	"dircc/internal/coherent"
 )
@@ -278,7 +280,7 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			if meta := sciMetaOf(ln); meta != nil {
 				next = meta.next
 			}
-			node.Cache.Invalidate(msg.Block)
+			m.Invalidate(n, msg.Block)
 		} else if t, ok := e.tombstones[tombKey{n, msg.Block}]; ok {
 			next = t
 			delete(e.tombstones, tombKey{n, msg.Block})
@@ -401,6 +403,19 @@ func (e *SCI) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	}
 	// Tombstone so an in-flight purge naming us can continue the walk.
 	e.tombstones[tombKey{n, b}] = next
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics.
+func (e *SCI) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	s := fmt.Sprintf("%s head=%d owner=%d", en.state, en.head, en.owner)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d}", p.req.Type, p.req.Requester)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine: head pointer per memory

@@ -5,6 +5,8 @@
 package list
 
 import (
+	"fmt"
+
 	"dircc/internal/cache"
 	"dircc/internal/coherent"
 )
@@ -16,6 +18,18 @@ const (
 	shared
 	dirty
 )
+
+func (s dirState) String() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case shared:
+		return "shared"
+	case dirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
 
 // sllEntry is the singly-linked home state: just the head pointer.
 type sllEntry struct {
@@ -262,7 +276,7 @@ func (e *SLL) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if meta, ok := ln.Meta.(*sllMeta); ok {
 			next = meta.next
 		}
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(n, msg.Block)
 		if next == coherent.NoNode {
 			e.ack(m, n, msg) // tail acknowledges
 			return
@@ -325,10 +339,23 @@ func (e *SLL) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 		if meta, ok := cur.Meta.(*sllMeta); ok {
 			nn = meta.next
 		}
-		m.Nodes[next].Cache.Invalidate(ln.Block)
+		m.Invalidate(next, ln.Block)
 		src = next
 		next = nn
 	}
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics.
+func (e *SLL) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	s := fmt.Sprintf("%s head=%d owner=%d", en.state, en.head, en.owner)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d}", p.req.Type, p.req.Requester)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine: the paper's (C+B)·n·log n —

@@ -15,6 +15,8 @@
 package stp
 
 import (
+	"fmt"
+
 	"dircc/internal/cache"
 	"dircc/internal/coherent"
 )
@@ -26,6 +28,18 @@ const (
 	shared
 	dirty
 )
+
+func (s dirState) String() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case shared:
+		return "shared"
+	case dirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
 
 type entry struct {
 	state dirState
@@ -294,7 +308,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			return
 		}
 		children := liveChildren(ln)
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(n, msg.Block)
 		e.mergeTombs(aggKey{n, msg.Block}, children)
 		e.sendReplaceInv(m, n, msg.Block, children)
 	case coherent.MsgWbReq:
@@ -384,7 +398,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 	var fanout []coherent.NodeID
 	if ln := node.Cache.Lookup(msg.Block); ln != nil && ln.State != cache.Invalid {
 		fanout = append(fanout, liveChildren(ln)...)
-		node.Cache.Invalidate(msg.Block)
+		m.Invalidate(node.ID, msg.Block)
 	}
 	for _, c := range e.tombs[key] {
 		dup := false
@@ -498,6 +512,19 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 		})
 	}
+}
+
+// DescribeBlock implements coherent.BlockDumper for stall diagnostics.
+func (e *Engine) DescribeBlock(b coherent.BlockID) string {
+	en := e.entries[b]
+	if en == nil {
+		return "uncached (no entry)"
+	}
+	s := fmt.Sprintf("%s root=%d owner=%d", en.state, en.root, en.owner)
+	if p := en.pend; p != nil {
+		s += fmt.Sprintf(" pending{%s from %d, acksLeft=%d}", p.req.Type, p.req.Requester, p.acksLeft)
+	}
+	return s
 }
 
 // DirectoryBits implements coherent.Engine: two home pointers (root and

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// bucketJSON is one non-empty histogram bucket: Le is the inclusive
+// upper edge (2^i - 1), Count the samples at or below it but above the
+// previous bucket's edge.
+type bucketJSON struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+type histogramJSON struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Mean    float64      `json:"mean"`
+	Max     uint64       `json:"max"`
+	P50     uint64       `json:"p50"`
+	P90     uint64       `json:"p90"`
+	P99     uint64       `json:"p99"`
+	Buckets []bucketJSON `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the histogram as a summary (count, sum, mean,
+// max, p50/p90/p99 upper bounds) plus its non-empty buckets, each with
+// an inclusive upper edge.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{
+		Count: h.Count,
+		Sum:   h.Sum,
+		Mean:  h.Mean(),
+		Max:   h.MaxV,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		le := uint64(0)
+		if i > 0 {
+			le = (uint64(1) << uint(i)) - 1
+		}
+		out.Buckets = append(out.Buckets, bucketJSON{Le: le, Count: n})
+	}
+	return json.Marshal(out)
+}
+
+type countersJSON struct {
+	Cycles             uint64            `json:"cycles"`
+	Reads              uint64            `json:"reads"`
+	Writes             uint64            `json:"writes"`
+	ReadHits           uint64            `json:"read_hits"`
+	WriteHits          uint64            `json:"write_hits"`
+	ReadMisses         uint64            `json:"read_misses"`
+	WriteMisses        uint64            `json:"write_misses"`
+	MissRatio          float64           `json:"miss_ratio"`
+	Messages           uint64            `json:"messages"`
+	Bytes              uint64            `json:"bytes"`
+	HopsSum            uint64            `json:"hops_sum"`
+	Invalidations      uint64            `json:"invalidations"`
+	ReplaceInvs        uint64            `json:"replace_invs"`
+	InvAcks            uint64            `json:"inv_acks"`
+	Writebacks         uint64            `json:"writebacks"`
+	Replacements       uint64            `json:"replacements"`
+	Broadcasts         uint64            `json:"broadcasts"`
+	PointerEvicts      uint64            `json:"pointer_evicts"`
+	TreeMerges         uint64            `json:"tree_merges"`
+	TreeAdoptions      uint64            `json:"tree_adoptions"`
+	DirectoryBusy      uint64            `json:"directory_busy"`
+	BarrierEpochs      uint64            `json:"barrier_epochs"`
+	LockAcquires       uint64            `json:"lock_acquires"`
+	ComputeCycles      uint64            `json:"compute_cycles"`
+	MsgByType          map[string]uint64 `json:"msg_by_type,omitempty"`
+	AvgReadMissCycles  float64           `json:"avg_read_miss_cycles"`
+	AvgWriteMissCycles float64           `json:"avg_write_miss_cycles"`
+	ReadMissCycles     Histogram         `json:"read_miss_cycles"`
+	WriteMissCycles    Histogram         `json:"write_miss_cycles"`
+}
+
+// MarshalJSON renders the counters with snake_case keys, derived
+// ratios, and full histograms, for -json output and downstream
+// tooling. Map key order is canonicalized by encoding/json, so the
+// output is deterministic.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(countersJSON{
+		Cycles:             c.Cycles,
+		Reads:              c.Reads,
+		Writes:             c.Writes,
+		ReadHits:           c.ReadHits,
+		WriteHits:          c.WriteHits,
+		ReadMisses:         c.ReadMisses,
+		WriteMisses:        c.WriteMisses,
+		MissRatio:          c.MissRatio(),
+		Messages:           c.Messages,
+		Bytes:              c.Bytes,
+		HopsSum:            c.HopsSum,
+		Invalidations:      c.Invalidations,
+		ReplaceInvs:        c.ReplaceInvs,
+		InvAcks:            c.InvAcks,
+		Writebacks:         c.Writebacks,
+		Replacements:       c.Replacements,
+		Broadcasts:         c.Broadcasts,
+		PointerEvicts:      c.PointerEvicts,
+		TreeMerges:         c.TreeMerges,
+		TreeAdoptions:      c.TreeAdoptions,
+		DirectoryBusy:      c.DirectoryBusy,
+		BarrierEpochs:      c.BarrierEpochs,
+		LockAcquires:       c.LockAcquires,
+		ComputeCycles:      c.ComputeCycles,
+		MsgByType:          c.MsgByType,
+		AvgReadMissCycles:  c.AvgReadMissLatency(),
+		AvgWriteMissCycles: c.AvgWriteMissLatency(),
+		ReadMissCycles:     c.ReadMissCycles,
+		WriteMissCycles:    c.WriteMissCyc,
+	})
+}
+
+// SortedMsgTypes returns the message-type keys in sorted order (a
+// rendering helper shared by the text and JSON formatters).
+func (c *Counters) SortedMsgTypes() []string {
+	types := make([]string, 0, len(c.MsgByType))
+	for t := range c.MsgByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return types
+}

@@ -9,7 +9,6 @@ package stats
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 	"strings"
 )
 
@@ -103,11 +102,7 @@ func (c *Counters) String() string {
 	fmt.Fprintf(&b, "avg miss latency  %12.1f read / %.1f write\n",
 		c.AvgReadMissLatency(), c.AvgWriteMissLatency())
 	if len(c.MsgByType) > 0 {
-		types := make([]string, 0, len(c.MsgByType))
-		for t := range c.MsgByType {
-			types = append(types, t)
-		}
-		sort.Strings(types)
+		types := c.SortedMsgTypes()
 		fmt.Fprintf(&b, "messages by type:\n")
 		for _, t := range types {
 			fmt.Fprintf(&b, "  %-12s %12d\n", t, c.MsgByType[t])

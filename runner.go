@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // ResultOrErr pairs RunExperiment's two return values so a batch can
@@ -12,6 +13,11 @@ import (
 type ResultOrErr struct {
 	Result *Result
 	Err    error
+	// Elapsed is the wall-clock time the experiment took to simulate
+	// (zero for experiments that never ran because ctx was cancelled).
+	// It is host timing, not simulated time, and exists for progress
+	// reporting; nothing deterministic may depend on it.
+	Elapsed time.Duration
 }
 
 // RunExperiments executes a batch of experiments on a worker pool and
@@ -28,6 +34,16 @@ type ResultOrErr struct {
 // ran carry ctx's error. Experiments already in flight run to
 // completion (the kernel has no preemption points).
 func RunExperiments(ctx context.Context, exps []Experiment, parallelism int) []ResultOrErr {
+	return RunExperimentsProgress(ctx, exps, parallelism, nil)
+}
+
+// RunExperimentsProgress is RunExperiments with a completion callback:
+// onDone (when non-nil) is invoked once per experiment as it finishes,
+// with the grid index and the outcome. Callbacks are serialized (no
+// locking needed inside) but run from worker goroutines in completion
+// order, which is nondeterministic — use them for progress display,
+// not for anything the results depend on.
+func RunExperimentsProgress(ctx context.Context, exps []Experiment, parallelism int, onDone func(i int, r ResultOrErr)) []ResultOrErr {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -43,6 +59,7 @@ func RunExperiments(ctx context.Context, exps []Experiment, parallelism int) []R
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
@@ -50,10 +67,16 @@ func RunExperiments(ctx context.Context, exps []Experiment, parallelism int) []R
 			for i := range idx {
 				if err := ctx.Err(); err != nil {
 					out[i].Err = err
-					continue
+				} else {
+					start := time.Now()
+					r, err := RunExperiment(exps[i])
+					out[i] = ResultOrErr{Result: r, Err: err, Elapsed: time.Since(start)}
 				}
-				r, err := RunExperiment(exps[i])
-				out[i] = ResultOrErr{Result: r, Err: err}
+				if onDone != nil {
+					mu.Lock()
+					onDone(i, out[i])
+					mu.Unlock()
+				}
 			}
 		}()
 	}
