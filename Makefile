@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench sweep cover
+.PHONY: all build test tier1 vet race bench sweep cover lint check
 
 all: tier1
 
@@ -15,6 +15,21 @@ tier1: build test
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus the repo's own analyzer suite (cmd/dirccvet:
+# simdet, maprange, probeguard). staticcheck and govulncheck also run
+# when installed — CI installs them; offline dev boxes may not have
+# them, so their absence is not an error here.
+lint: vet
+	$(GO) run ./cmd/dirccvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "lint: govulncheck not installed, skipping"; fi
+
+# check runs the exhaustive model checker over every protocol engine
+# (internal/check: all interleavings of the tiny-config grid, plus the
+# mutation self-test that proves the checker catches a seeded bug).
+check:
+	$(GO) test ./internal/check -v -run 'TestExhaustive|TestMutationCaught'
 
 # race runs the whole suite — including the parallel-vs-sequential
 # determinism regression TestRunExperimentsDeterministic — under the

@@ -1,0 +1,33 @@
+// Command dirccvet runs the repository's custom static analyzers
+// (simdet, maprange, probeguard — see internal/lint) over the given
+// package patterns, defaulting to ./... . It prints one line per
+// finding and exits 1 if any finding survives the //dirccvet:allow
+// suppressions, so it slots into `make lint` and CI next to go vet.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dircc/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dirccvet:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dirccvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

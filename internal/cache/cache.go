@@ -213,6 +213,19 @@ func (c *Cache) ForEach(fn func(*Line)) {
 	}
 }
 
+// ForEachMRU calls fn for every frame in deterministic order: sets in
+// index order, each set's frames from most- to least-recently used.
+// Unlike ForEach it also visits Invalid frames still occupying a slot,
+// because their position in the LRU chain determines future victim
+// selection. fn must not mutate the cache structure.
+func (c *Cache) ForEachMRU(fn func(*Line)) {
+	for s := 0; s < c.sets; s++ {
+		for ln := c.head[s]; ln != nil; ln = ln.next {
+			fn(ln)
+		}
+	}
+}
+
 // lru helpers
 
 func (c *Cache) pushFront(ln *Line) {

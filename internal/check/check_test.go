@@ -1,0 +1,74 @@
+package check
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExhaustive model-checks every engine in the grid. A violation
+// fails the test with the minimal witness; its protocol-event trace is
+// additionally dumped to check-witness-<name>.jsonl (gitignored) for
+// offline inspection.
+func TestExhaustive(t *testing.T) {
+	for _, entry := range Grid() {
+		entry := entry
+		t.Run(entry.Config.Name, func(t *testing.T) {
+			if entry.Wide && testing.Short() {
+				t.Skip("wide state space; skipped under -short")
+			}
+			t.Parallel()
+			st, v, err := Run(entry.Config)
+			if err != nil {
+				t.Fatalf("exploration failed: %v", err)
+			}
+			if v != nil {
+				dumpWitness(t, v)
+				t.Fatalf("invariant violated:\n%s", v)
+			}
+			t.Logf("clean: %d states, %d transitions, %d terminals, depth %d",
+				st.States, st.Transitions, st.Terminals, st.MaxDepth)
+			if st.Terminals == 0 {
+				t.Fatalf("no terminal state reached: the program cannot finish")
+			}
+		})
+	}
+}
+
+// dumpWitness writes the witness's event trace in the observability
+// JSONL format next to the test binary's working directory.
+func dumpWitness(t *testing.T, v *Violation) {
+	t.Helper()
+	if v.Trace == nil {
+		return
+	}
+	name := "check-witness-" + v.Config + ".jsonl"
+	f, err := os.Create(name)
+	if err != nil {
+		t.Logf("cannot write witness trace: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := v.Trace.WriteJSONL(f); err != nil {
+		t.Logf("cannot write witness trace: %v", err)
+		return
+	}
+	t.Logf("witness trace written to %s", name)
+}
+
+// TestConfigValidation covers the config error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := Run(Config{Name: "nil-engine", Procs: 2, Blocks: 1}); err == nil {
+		t.Error("nil NewEngine accepted")
+	}
+	g := Grid()[0].Config
+	g.Procs = 1
+	if _, _, err := Run(g); err == nil || !strings.Contains(err.Error(), "procs") {
+		t.Errorf("1-proc config: %v", err)
+	}
+	g = Grid()[0].Config
+	g.Program = [][]Op{{{Kind: OpRead, Block: 9}}}
+	if _, _, err := Run(g); err == nil || !strings.Contains(err.Error(), "block") {
+		t.Errorf("out-of-range block: %v", err)
+	}
+}

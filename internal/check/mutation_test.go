@@ -1,0 +1,82 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+	"dircc/internal/core"
+)
+
+// brokenTree wraps the Dir_iTree_k engine with a classic
+// silent-replacement bug: replacing a Valid copy drops the line
+// without sending Replace_INV down the subtree and without recording
+// victim-buffer tombstones, so the victim's children survive with no
+// path from the directory to them.
+type brokenTree struct{ *core.Engine }
+
+func (bt brokenTree) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	if ln.State == cache.Valid {
+		return // BUG: orphans the whole subtree below n
+	}
+	bt.Engine.OnEvict(m, n, ln)
+}
+
+// progOrphan grows a two-level tree and replaces the interior node:
+// node 0's copy adopts node 1, so node 0's replacement is the one
+// whose skipped teardown loses a copy.
+func progOrphan() [][]Op {
+	return [][]Op{
+		{{Kind: OpRead, Block: 0}, {Kind: OpReplace, Block: 0}},
+		{{Kind: OpRead, Block: 0}},
+		{{Kind: OpWrite, Block: 0, Value: 50}},
+	}
+}
+
+// TestMutationCaught is the checker's self-test: the deliberately
+// broken engine must be caught, with a readable minimal witness, while
+// the real engine stays clean on the same program.
+func TestMutationCaught(t *testing.T) {
+	good := Config{
+		Name:      "tree1x2-p3-orphan-good",
+		NewEngine: func() coherent.Engine { return core.New(1, 2) },
+		Procs:     3, Blocks: 1,
+		Program: progOrphan(),
+	}
+	if _, v, err := Run(good); err != nil {
+		t.Fatalf("baseline exploration failed: %v", err)
+	} else if v != nil {
+		t.Fatalf("baseline engine flagged:\n%s", v)
+	}
+
+	bad := good
+	bad.Name = "tree1x2-p3-orphan-mutant"
+	bad.NewEngine = func() coherent.Engine { return brokenTree{core.New(1, 2)} }
+	_, v, err := Run(bad)
+	if err != nil {
+		t.Fatalf("mutant exploration failed: %v", err)
+	}
+	if v == nil {
+		t.Fatal("mutant engine not caught: dropped subtree went unnoticed")
+	}
+	if !strings.Contains(v.Err, "coverage") {
+		t.Errorf("expected a coverage violation, got: %s", v.Err)
+	}
+	if len(v.Steps) == 0 {
+		t.Error("witness has no steps")
+	}
+	var sawReplace bool
+	for _, s := range v.Steps {
+		if strings.Contains(s, "replace") {
+			sawReplace = true
+		}
+	}
+	if !sawReplace {
+		t.Errorf("witness does not show the replacement:\n%s", v)
+	}
+	if v.Trace == nil || v.Trace.Len() == 0 {
+		t.Error("witness replay recorded no protocol events")
+	}
+	t.Logf("mutant caught:\n%s", v)
+}

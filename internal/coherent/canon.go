@@ -1,0 +1,120 @@
+package coherent
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dircc/internal/cache"
+)
+
+// This file defines the canonical-state surface the model checker
+// (internal/check) builds on: a deterministic textual rendering of
+// everything that can influence future machine behavior, plus the
+// interfaces engines implement to expose their private directory state.
+//
+// Simulated time is deliberately excluded everywhere — two machines
+// that differ only in their clocks behave identically under the
+// checker's transport interception, and including time would keep the
+// explored state space from ever converging.
+
+// ProtocolState is implemented by engines that can write a canonical
+// dump of all engine-private state (directory entries, aggregation
+// counters, victim/tombstone buffers). The rendering must be
+// deterministic: map iteration must be sorted, and nothing derived
+// from simulated time or statistics may appear.
+type ProtocolState interface {
+	CanonState(w io.Writer)
+}
+
+// CoverageEnumerator is implemented by engines whose directory must
+// account for every cached copy. CoverageRoots returns the nodes the
+// directory entry for b references directly (pointer slots, list head,
+// tree roots, exclusive owner). CoverageEdges returns the nodes that
+// node n's recorded state for b references (tree children, list next
+// pointers, victim/tombstone buffers) — the checker takes the closure
+// of roots under edges and requires every stable copy to be inside it
+// or be the target of an in-flight teardown message.
+type CoverageEnumerator interface {
+	CoverageRoots(m *Machine, b BlockID) []NodeID
+	CoverageEdges(m *Machine, b BlockID, n NodeID) []NodeID
+}
+
+// ShapeChecker is implemented by engines whose directory structure has
+// a well-formedness invariant beyond coverage (bounded root count,
+// bounded fan-out, acyclicity). CheckShape returns a descriptive error
+// when block b's structure is malformed.
+type ShapeChecker interface {
+	CheckShape(m *Machine, b BlockID) error
+}
+
+// Canon renders msg deterministically, covering every field that can
+// influence delivery behavior (probe bookkeeping excluded).
+func (msg *Msg) Canon() string {
+	return fmt.Sprintf("%s %d>%d b%d r%d a%d p%v hd%v d%d w%v at%d ad%v sb%v sw%v td%v g%v",
+		msg.Type, msg.Src, msg.Dst, msg.Block, msg.Requester, msg.Aux, msg.Ptrs,
+		msg.HasData, msg.Data, msg.Write, msg.AckTo, msg.AckDir, msg.SibAck,
+		msg.SelfWave, msg.ToDir, msg.Gated)
+}
+
+// CanonState writes a canonical rendering of the machine: cache
+// contents in LRU order (frame position determines future victims),
+// outstanding transactions, home-gate queues, the authoritative store,
+// and — when the engine implements ProtocolState — all engine-private
+// directory state. Two machines with equal renderings are behaviorally
+// indistinguishable to the model checker.
+func (m *Machine) CanonState(w io.Writer) {
+	for _, node := range m.Nodes {
+		fmt.Fprintf(w, "n%d:", node.ID)
+		node.Cache.ForEachMRU(func(ln *cache.Line) {
+			if node.Cache.Lookup(ln.Block) != ln || ln.State == cache.Invalid {
+				// A free frame: its LRU position still matters, its old
+				// tag does not.
+				fmt.Fprint(w, "[-]")
+				return
+			}
+			fmt.Fprintf(w, "[b%d %s v%d pin%v m%v]", ln.Block, ln.State, ln.Val, ln.Pinned, ln.Meta)
+		})
+		fmt.Fprintln(w)
+	}
+	for n, txns := range m.txns {
+		blocks := sortedBlocks(txns)
+		for _, b := range blocks {
+			txn := txns[b]
+			fmt.Fprintf(w, "txn n%d b%d w%v v%d served%v rmw%v def[", n, b, txn.Write, txn.Value, txn.Served, txn.RMW != nil)
+			for _, d := range txn.Deferred {
+				fmt.Fprintf(w, "{%s}", d.Canon())
+			}
+			fmt.Fprintf(w, "] scratch=%v\n", txn.Scratch)
+		}
+	}
+	gateBlocks := sortedBlocks(m.gates)
+	for _, b := range gateBlocks {
+		g := m.gates[b]
+		fmt.Fprintf(w, "gate b%d busy%v q[", b, g.busy)
+		for _, q := range g.queue {
+			fmt.Fprintf(w, "{%s}", q.Canon())
+		}
+		fmt.Fprintln(w, "]")
+	}
+	curBlocks := sortedBlocks(m.Store.cur)
+	for _, b := range curBlocks {
+		fmt.Fprintf(w, "mem b%d=%d", b, m.Store.cur[b])
+		if old, busy := m.Store.prevDuringWrite[b]; busy {
+			fmt.Fprintf(w, " (pre-write %d)", old)
+		}
+		fmt.Fprintln(w)
+	}
+	if ps, ok := m.proto.(ProtocolState); ok {
+		ps.CanonState(w)
+	}
+}
+
+func sortedBlocks[V any](m map[BlockID]V) []BlockID {
+	out := make([]BlockID, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -138,6 +138,13 @@ type Machine struct {
 
 	// allocTop is the next free byte of the shared address space.
 	allocTop uint64
+
+	// sendHook, when set, intercepts message transport: instead of
+	// traveling through the network model, each sent message is handed
+	// to the hook together with its delivery thunk. The model checker
+	// (internal/check) uses this to own the set of in-flight messages
+	// and explore every delivery order.
+	sendHook func(msg *Msg, deliver func())
 }
 
 type gate struct {
@@ -558,9 +565,38 @@ func (m *Machine) Send(msg *Msg) {
 		msg.probeID = m.Probe.MsgSend(uint64(m.Eng.Now()), msg.Type.String(),
 			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester))
 	}
+	if m.sendHook != nil {
+		m.sendHook(msg, func() { m.dispatch(msg) })
+		return
+	}
 	m.Net.Send(msg.Type.String(), msg.Src, msg.Dst, msg.Bytes(m.Cfg), func() {
 		m.dispatch(msg)
 	})
+}
+
+// SetSendHook installs (or clears, with nil) the transport interceptor
+// used by the model checker. With a hook installed, messages bypass the
+// network model entirely: the hook receives each message and a thunk
+// that performs its delivery, and becomes responsible for invoking
+// every thunk exactly once, in whatever order it chooses to explore.
+func (m *Machine) SetSendHook(fn func(msg *Msg, deliver func())) { m.sendHook = fn }
+
+// ReplaceBlock forces node n to replace its copy of block b, exactly
+// as if the frame had been reclaimed for a conflicting miss: the
+// engine's OnEvict runs (Replace_INV, writeback, unlink, ... as the
+// scheme requires) and the frame is cleared. It returns false without
+// side effects when n holds no stable unpinned copy of b. The model
+// checker uses it to exercise replacement races without having to
+// construct a conflicting address pattern.
+func (m *Machine) ReplaceBlock(n NodeID, b BlockID) bool {
+	ln := m.Nodes[n].Cache.Lookup(b)
+	if ln == nil || ln.State == cache.Invalid || ln.Pinned {
+		return false
+	}
+	m.Ctr.Replacements++
+	m.proto.OnEvict(m, n, ln)
+	m.Nodes[n].Cache.Evict(ln)
+	return true
 }
 
 func (m *Machine) dispatch(msg *Msg) {

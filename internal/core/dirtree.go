@@ -110,6 +110,11 @@ type Engine struct {
 	// closes a sequential-consistency hole the paper's silent
 	// replacement scheme leaves open (see DESIGN.md §4.2).
 	tombs map[aggKey][]coherent.NodeID
+	// torn is verification-only ghost state: blocks that have ever had
+	// a replacement teardown, where dangling child pointers make strict
+	// acyclicity inapplicable (see CheckShape). It never influences
+	// protocol behavior.
+	torn map[coherent.BlockID]bool
 }
 
 // Options tune protocol variants for ablation studies and extensions.
@@ -153,6 +158,7 @@ func New(i, k int) *Engine {
 		entries: make(map[coherent.BlockID]*entry),
 		aggs:    make(map[aggKey]*agg),
 		tombs:   make(map[aggKey][]coherent.NodeID),
+		torn:    make(map[coherent.BlockID]bool),
 	}
 }
 
@@ -363,6 +369,7 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 	if m.Tracing() {
 		m.TraceDir(b, fmt.Sprintf("writer %d: inv wave over %d roots", msg.Requester, len(roots)))
 	}
+	_, ackTo := AckPlan(len(roots))
 	for idx, s := range roots {
 		inv := &coherent.Msg{
 			Type: waveType, Src: home, Dst: s.node, Block: b,
@@ -375,16 +382,16 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 			inv.AckTo = home
 			inv.AckDir = true
 			pend.acksLeft++
-		case idx%2 == 0:
+		case ackTo[idx] < 0:
 			// Even root: acks home, and absorbs its odd sibling's ack
 			// if one exists.
 			inv.AckTo = home
 			inv.AckDir = true
-			inv.SibAck = idx+1 < len(roots)
+			inv.SibAck = SibAck(idx, len(roots))
 			pend.acksLeft++
 		default:
 			// Odd root: acks its even sibling.
-			inv.AckTo = roots[idx-1].node
+			inv.AckTo = roots[ackTo[idx]].node
 			inv.AckDir = false
 		}
 		m.Ctr.Invalidations++
@@ -517,6 +524,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	case coherent.MsgInvAck:
 		e.onCacheAck(m, n, msg)
 	case coherent.MsgReplaceInv:
+		e.torn[msg.Block] = true
 		ln := node.Cache.Lookup(msg.Block)
 		if ln == nil || ln.State == cache.Invalid {
 			return // dangling edge; subtree already gone
@@ -704,6 +712,7 @@ func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b cohere
 func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	switch ln.State {
 	case cache.Valid:
+		e.torn[ln.Block] = true
 		e.mergeTombs(aggKey{n, ln.Block}, childrenOf(ln))
 		e.sendReplaceInv(m, n, ln.Block, childrenOf(ln))
 	case cache.Exclusive:

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+// Verification hooks for the model checker (internal/check).
+
+func (s dirState) String() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case shared:
+		return "shared"
+	case dirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("dirState(%d)", uint8(s))
+}
+
+func (meta *treeMeta) String() string { return fmt.Sprintf("ch%v", meta.children) }
+
+// CanonState implements coherent.ProtocolState: directory entries with
+// their root slots, in-progress ack aggregations, and victim-buffer
+// tombstones. The torn ghost flag is deliberately excluded: it only
+// relaxes a check, and any state reachable with a cycle has torn set
+// on every path that reaches it.
+func (e *Engine) CanonState(w io.Writer) {
+	blocks := make([]coherent.BlockID, 0, len(e.entries))
+	for b := range e.entries {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		en := e.entries[b]
+		if en.state == uncached && len(en.slots) == 0 && en.owner == coherent.NoNode && en.pend == nil {
+			continue
+		}
+		fmt.Fprintf(w, "dir b%d %s owner%d slots%v", b, en.state, en.owner, en.slots)
+		if p := en.pend; p != nil {
+			fmt.Fprintf(w, " pend{%s stage%d wb%d acks%d}", p.req.Canon(), p.stage, p.wbFrom, p.acksLeft)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, k := range sortedAggKeys(e.aggs) {
+		a := e.aggs[k]
+		fmt.Fprintf(w, "agg n%d b%d armed%v left%d to%d dir%v\n", k.n, k.b, a.armed, a.left, a.to, a.toDir)
+	}
+	for _, k := range sortedTombKeys(e.tombs) {
+		fmt.Fprintf(w, "tomb n%d b%d -> %v\n", k.n, k.b, e.tombs[k])
+	}
+}
+
+// CoverageRoots implements coherent.CoverageEnumerator: the directory
+// knows the roots of the sharing trees plus the exclusive owner.
+func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	var roots []coherent.NodeID
+	for _, s := range en.slots {
+		roots = append(roots, s.node)
+	}
+	if en.owner != coherent.NoNode {
+		seen := false
+		for _, r := range roots {
+			if r == en.owner {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			roots = append(roots, en.owner)
+		}
+	}
+	return roots
+}
+
+// CoverageEdges implements coherent.CoverageEnumerator: a live copy's
+// child pointers plus the victim-buffer tombstones left below node n
+// by replaced copies.
+func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.NodeID) []coherent.NodeID {
+	var out []coherent.NodeID
+	if ln := m.Nodes[n].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
+		out = append(out, childrenOf(ln)...)
+	}
+	out = append(out, e.tombs[aggKey{n, b}]...)
+	return out
+}
+
+func sortedAggKeys(m map[aggKey]*agg) []aggKey {
+	out := make([]aggKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortedTombKeys(m map[aggKey][]coherent.NodeID) []aggKey {
+	out := make([]aggKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(keys []aggKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].b != keys[j].b {
+			return keys[i].b < keys[j].b
+		}
+		return keys[i].n < keys[j].n
+	})
+}

@@ -1,0 +1,153 @@
+// Package lint is a small static-analysis framework in the style of
+// go/analysis, self-contained so the repository's custom analyzers run
+// with the standard library alone (the container building this repo
+// has no module proxy). cmd/dirccvet is the multichecker driver.
+//
+// The analyzers encode simulator-specific correctness rules that the
+// compiler cannot check:
+//
+//   - simdet: simulation results must be deterministic, so simulation
+//     code must not consult the global math/rand source or the wall
+//     clock.
+//   - maprange: Go map iteration order is random, so a map range loop
+//     must not directly feed the event kernel, the network, or a
+//     report/trace writer.
+//   - probeguard: the observability layer is a nil *obs.Probe when
+//     disabled, so probe method calls must be guarded by a nil check.
+//
+// A finding can be suppressed — with justification — by a
+// `//dirccvet:allow <analyzer>` comment on the same line or the line
+// above.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-package invocation of one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{SimDet, MapRange, ProbeGuard}
+}
+
+// RunAnalyzers applies the analyzers to every package, drops findings
+// suppressed by //dirccvet:allow comments, and returns the rest sorted
+// by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allow.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowSet maps file -> line -> analyzer names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows gathers `//dirccvet:allow name[,name] [reason]`
+// comments. An allowance covers findings on its own line and on the
+// line below (for a comment placed above the offending statement).
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//dirccvet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = make(map[string]bool)
+						}
+						lines[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) suppressed(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// emitFuncs name the functions whose call order is observable: kernel
+// event scheduling, message transmission, and report/trace emission.
+// Feeding any of them from a map range couples observable behavior to
+// Go's randomized map iteration order.
+var emitFuncs = map[string]bool{
+	"Schedule": true, "At": true, "Send": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// MapRange flags map iteration that directly drives event scheduling,
+// message sends, or formatted output. The fix is the sortedBlocks
+// pattern used throughout the engines: collect the keys, sort, range
+// over the slice.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid map iteration order from reaching the event kernel, the network, or emitted output",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			reported := false
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				if reported {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if emitFuncs[name] {
+					p.Reportf(rs.For,
+						"map iteration order reaches %s; collect the keys, sort them, and range over the slice",
+						name)
+					reported = true
+					return false
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

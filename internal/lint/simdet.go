@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand functions that build an
+// explicitly seeded generator instead of consulting the global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// clockFuncs are the time functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// SimDet enforces simulation determinism: results must be bit-for-bit
+// reproducible from (config, seed), so simulation code must not draw
+// from the global math/rand source (unseeded, and shared across
+// goroutines in parallel sweeps) or read the wall clock. Workloads
+// derive a private rand.New(rand.NewSource(seed)); host-side progress
+// timing is the one legitimate wall-clock use and carries an allow
+// comment.
+var SimDet = &Analyzer{
+	Name: "simdet",
+	Doc:  "forbid the global math/rand source and wall-clock reads in simulation code",
+	Run:  runSimDet,
+}
+
+func runSimDet(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					p.Reportf(call.Pos(),
+						"%s.%s draws from the global rand source; use a per-run rand.New(rand.NewSource(seed))",
+						id.Name, sel.Sel.Name)
+				}
+			case "time":
+				if clockFuncs[sel.Sel.Name] {
+					p.Reportf(call.Pos(),
+						"time.%s reads the wall clock; simulated behavior must depend only on sim.Time",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+// Fixture for the maprange analyzer: flag map iteration that feeds
+// observable output or scheduling, accept order-independent loops and
+// the sorted-keys idiom.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func bad(w io.Writer, m map[int]int) {
+	for k, v := range m { // want `map iteration order reaches Fprintf`
+		fmt.Fprintf(w, "%d=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]bool) string {
+	var sb strings.Builder
+	for k := range m { // want `map iteration order reaches WriteString`
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func goodSorted(w io.Writer, m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%d=%d\n", k, m[k])
+	}
+}
+
+func goodAccumulate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodSlice(w io.Writer, s []int) {
+	for i, v := range s {
+		fmt.Fprintf(w, "%d=%d\n", i, v)
+	}
+}

@@ -1,0 +1,71 @@
+// Fixture for the probeguard analyzer: every *obs.Probe method call
+// must be dominated by a nil check of the same receiver expression.
+package probeguard
+
+import "dircc/internal/obs"
+
+type machine struct {
+	probe *obs.Probe
+	now   uint64
+}
+
+func bad(m *machine) {
+	m.probe.Tick(m.now) // want `without a m.probe != nil guard`
+}
+
+func badAfterUnrelatedGuard(m, other *machine) {
+	if other.probe != nil {
+		m.probe.Tick(m.now) // want `without a m.probe != nil guard`
+	}
+}
+
+func badWrongBranch(m *machine) {
+	if m.probe == nil {
+		m.probe.Tick(m.now) // want `without a m.probe != nil guard`
+	}
+}
+
+func goodEnclosing(m *machine) {
+	if m.probe != nil {
+		m.probe.Tick(m.now)
+	}
+}
+
+func goodConjunction(m *machine, verbose bool) {
+	if verbose && m.probe != nil {
+		m.probe.Progress(m.now)
+	}
+}
+
+func goodEarlyReturn(m *machine) {
+	if m.probe == nil {
+		return
+	}
+	m.probe.TxnStart(m.now, 0, 0, false)
+	m.probe.TxnEnd(m.now, 0, 0, false)
+}
+
+func goodElseBranch(m *machine) {
+	if m.probe == nil {
+		_ = m.now
+	} else {
+		m.probe.Tick(m.now)
+	}
+}
+
+func goodLoopContinue(ms []*machine) {
+	for _, m := range ms {
+		if m.probe == nil {
+			continue
+		}
+		m.probe.Tick(m.now)
+	}
+}
+
+func goodNested(m *machine) {
+	if m.probe != nil {
+		for i := 0; i < 3; i++ {
+			m.probe.Tick(m.now + uint64(i))
+		}
+	}
+}

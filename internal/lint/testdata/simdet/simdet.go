@@ -1,0 +1,34 @@
+// Fixture for the simdet analyzer: flag global-rand draws and
+// wall-clock reads, accept seeded generators and allow comments.
+package simdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad(n int) int {
+	x := rand.Intn(n)                  // want `global rand source`
+	_ = time.Now()                     // want `wall clock`
+	_ = time.Since(time.Time{})        // want `wall clock`
+	_ = time.Until(time.Time{})        // want `wall clock`
+	x += int(rand.Int63())             // want `global rand source`
+	rand.Shuffle(n, func(_, _ int) {}) // want `global rand source`
+	return x
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 64)
+	_ = time.Duration(3) * time.Millisecond
+	return rng.Intn(10) + int(z.Uint64())
+}
+
+func allowed() time.Time {
+	return time.Now() //dirccvet:allow simdet host-side progress timing, never reaches sim state
+}
+
+func allowedAbove() time.Time {
+	//dirccvet:allow simdet host-side progress timing, never reaches sim state
+	return time.Now()
+}

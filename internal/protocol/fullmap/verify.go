@@ -1,0 +1,61 @@
+package fullmap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dircc/internal/coherent"
+)
+
+// Verification hooks for the model checker (internal/check).
+
+// CanonState implements coherent.ProtocolState: a deterministic dump of
+// every directory entry that differs from the uncached zero state.
+func (e *Engine) CanonState(w io.Writer) {
+	blocks := make([]coherent.BlockID, 0, len(e.entries))
+	for b := range e.entries {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		en := e.entries[b]
+		if en.state == uncached && len(en.sharers) == 0 && en.owner == coherent.NoNode && en.pend == nil {
+			continue
+		}
+		fmt.Fprintf(w, "dir b%d %s owner%d sharers%v", b, en.state, en.owner, sortedNodes(en.sharers))
+		if p := en.pend; p != nil {
+			fmt.Fprintf(w, " pend{%s wantWb%d acks%d}", p.req.Canon(), p.wantWb, p.acksLeft)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CoverageRoots implements coherent.CoverageEnumerator: the presence
+// bits plus the owner pointer record every copy directly.
+func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	roots := sortedNodes(en.sharers)
+	if en.owner != coherent.NoNode {
+		roots = append(roots, en.owner)
+	}
+	return roots
+}
+
+// CoverageEdges implements coherent.CoverageEnumerator: full-map caches
+// hold no pointers to other copies.
+func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.NodeID) []coherent.NodeID {
+	return nil
+}
+
+func sortedNodes(set map[coherent.NodeID]bool) []coherent.NodeID {
+	out := make([]coherent.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

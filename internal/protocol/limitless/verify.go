@@ -1,0 +1,61 @@
+package limitless
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dircc/internal/coherent"
+)
+
+// Verification hooks for the model checker (internal/check).
+
+// CanonState implements coherent.ProtocolState.
+func (e *Engine) CanonState(w io.Writer) {
+	blocks := make([]coherent.BlockID, 0, len(e.entries))
+	for b := range e.entries {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		en := e.entries[b]
+		if en.state == uncached && len(en.hw) == 0 && len(en.sw) == 0 &&
+			en.owner == coherent.NoNode && en.pend == nil {
+			continue
+		}
+		sw := make([]coherent.NodeID, 0, len(en.sw))
+		for n := range en.sw {
+			sw = append(sw, n)
+		}
+		sortNodes(sw)
+		fmt.Fprintf(w, "dir b%d %s owner%d hw%v sw%v", b, en.state, en.owner, en.hw, sw)
+		if p := en.pend; p != nil {
+			fmt.Fprintf(w, " pend{%s stage%d wb%d acks%d}", p.req.Canon(), p.stage, p.wbFrom, p.acksLeft)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CoverageRoots implements coherent.CoverageEnumerator: hardware
+// pointers, the software-spilled set, and the owner together record
+// every copy (LimitLESS is exact, like the full map).
+func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	roots := append([]coherent.NodeID(nil), en.hw...)
+	for n := range en.sw {
+		roots = append(roots, n)
+	}
+	if en.owner != coherent.NoNode {
+		roots = append(roots, en.owner)
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// CoverageEdges implements coherent.CoverageEnumerator.
+func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.NodeID) []coherent.NodeID {
+	return nil
+}

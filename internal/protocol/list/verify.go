@@ -1,0 +1,131 @@
+package list
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+// Verification hooks for the model checker (internal/check).
+
+func (meta *sllMeta) String() string { return fmt.Sprintf("next%d", meta.next) }
+
+func (meta *sciMeta) String() string { return fmt.Sprintf("prev%d,next%d", meta.prev, meta.next) }
+
+func (ps *purgeState) String() string { return fmt.Sprintf("purge@%d", ps.cur) }
+
+// CanonState implements coherent.ProtocolState for the singly linked
+// list engine.
+func (e *SLL) CanonState(w io.Writer) {
+	for _, b := range sortedBlocks(e.entries) {
+		en := e.entries[b]
+		if en.state == uncached && en.head == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil {
+			continue
+		}
+		fmt.Fprintf(w, "dir b%d %s head%d owner%d", b, en.state, en.head, en.owner)
+		if p := en.pend; p != nil {
+			fmt.Fprintf(w, " pend{%s}", p.req.Canon())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CoverageRoots implements coherent.CoverageEnumerator.
+func (e *SLL) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	return headOwnerRoots(en.head, en.owner)
+}
+
+// CoverageEdges implements coherent.CoverageEnumerator: each live copy
+// points at its list successor.
+func (e *SLL) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.NodeID) []coherent.NodeID {
+	ln := m.Nodes[n].Cache.Lookup(b)
+	if ln == nil || ln.State == cache.Invalid {
+		return nil
+	}
+	if meta, ok := ln.Meta.(*sllMeta); ok && meta.next != coherent.NoNode {
+		return []coherent.NodeID{meta.next}
+	}
+	return nil
+}
+
+// CanonState implements coherent.ProtocolState for the SCI engine.
+// Tombstones are part of the canonical state: they steer in-flight
+// purges around replaced nodes.
+func (e *SCI) CanonState(w io.Writer) {
+	for _, b := range sortedBlocks(e.entries) {
+		en := e.entries[b]
+		if en.state == uncached && en.head == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil {
+			continue
+		}
+		fmt.Fprintf(w, "dir b%d %s head%d owner%d", b, en.state, en.head, en.owner)
+		if p := en.pend; p != nil {
+			fmt.Fprintf(w, " pend{%s}", p.req.Canon())
+		}
+		fmt.Fprintln(w)
+	}
+	tombs := make([]tombKey, 0, len(e.tombstones))
+	for k := range e.tombstones {
+		tombs = append(tombs, k)
+	}
+	sort.Slice(tombs, func(i, j int) bool {
+		if tombs[i].b != tombs[j].b {
+			return tombs[i].b < tombs[j].b
+		}
+		return tombs[i].n < tombs[j].n
+	})
+	for _, k := range tombs {
+		fmt.Fprintf(w, "tomb n%d b%d -> %d\n", k.n, k.b, e.tombstones[k])
+	}
+}
+
+// CoverageRoots implements coherent.CoverageEnumerator.
+func (e *SCI) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	return headOwnerRoots(en.head, en.owner)
+}
+
+// CoverageEdges implements coherent.CoverageEnumerator: a live copy
+// points at its successor; a replaced node's tombstone keeps its old
+// successor reachable until an in-flight purge consumes it.
+func (e *SCI) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.NodeID) []coherent.NodeID {
+	var out []coherent.NodeID
+	if ln := m.Nodes[n].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
+		if meta := sciMetaOf(ln); meta != nil && meta.next != coherent.NoNode {
+			out = append(out, meta.next)
+		}
+	}
+	if t, ok := e.tombstones[tombKey{n, b}]; ok && t != coherent.NoNode {
+		out = append(out, t)
+	}
+	return out
+}
+
+func headOwnerRoots(head, owner coherent.NodeID) []coherent.NodeID {
+	var roots []coherent.NodeID
+	if head != coherent.NoNode {
+		roots = append(roots, head)
+	}
+	if owner != coherent.NoNode && owner != head {
+		roots = append(roots, owner)
+	}
+	return roots
+}
+
+func sortedBlocks[V any](m map[coherent.BlockID]V) []coherent.BlockID {
+	out := make([]coherent.BlockID, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -81,6 +81,11 @@ type Engine struct {
 	entries map[coherent.BlockID]*entry
 	aggs    map[aggKey]*agg
 	tombs   map[aggKey][]coherent.NodeID
+
+	// torn is verification-only ghost state: blocks that have had a
+	// silent-replacement teardown, after which dangling child edges may
+	// legally form cycles. Never influences protocol behavior.
+	torn map[coherent.BlockID]bool
 }
 
 // New returns a binary STP engine.
@@ -89,6 +94,7 @@ func New() *Engine {
 		entries: make(map[coherent.BlockID]*entry),
 		aggs:    make(map[aggKey]*agg),
 		tombs:   make(map[aggKey][]coherent.NodeID),
+		torn:    make(map[coherent.BlockID]bool),
 	}
 }
 
@@ -303,6 +309,7 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	case coherent.MsgInvAck:
 		e.onCacheAck(m, n, msg)
 	case coherent.MsgReplaceInv:
+		e.torn[msg.Block] = true
 		ln := node.Cache.Lookup(msg.Block)
 		if ln == nil || ln.State == cache.Invalid {
 			return
@@ -503,6 +510,7 @@ func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b cohere
 func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	switch ln.State {
 	case cache.Valid:
+		e.torn[ln.Block] = true
 		children := liveChildren(ln)
 		e.mergeTombs(aggKey{n, ln.Block}, children)
 		e.sendReplaceInv(m, n, ln.Block, children)

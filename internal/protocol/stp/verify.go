@@ -1,0 +1,122 @@
+package stp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+	"dircc/internal/core"
+)
+
+// Verification hooks for the model checker (internal/check).
+
+func (meta *stpMeta) String() string {
+	return fmt.Sprintf("ch%v cnt%v", meta.children, meta.counts)
+}
+
+// CanonState implements coherent.ProtocolState: directory entries,
+// in-progress ack aggregations, and victim-buffer tombstones.
+func (e *Engine) CanonState(w io.Writer) {
+	blocks := make([]coherent.BlockID, 0, len(e.entries))
+	for b := range e.entries {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		en := e.entries[b]
+		if en.state == uncached && en.root == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil {
+			continue
+		}
+		fmt.Fprintf(w, "dir b%d %s root%d owner%d", b, en.state, en.root, en.owner)
+		if p := en.pend; p != nil {
+			fmt.Fprintf(w, " pend{%s acks%d}", p.req.Canon(), p.acksLeft)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, k := range sortedAggKeys(e.aggs) {
+		a := e.aggs[k]
+		fmt.Fprintf(w, "agg n%d b%d armed%v left%d to%d dir%v\n", k.n, k.b, a.armed, a.left, a.to, a.toDir)
+	}
+	for _, k := range sortedTombKeys(e.tombs) {
+		fmt.Fprintf(w, "tomb n%d b%d -> %v\n", k.n, k.b, e.tombs[k])
+	}
+}
+
+// CoverageRoots implements coherent.CoverageEnumerator.
+func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	var roots []coherent.NodeID
+	if en.root != coherent.NoNode {
+		roots = append(roots, en.root)
+	}
+	if en.owner != coherent.NoNode && en.owner != en.root {
+		roots = append(roots, en.owner)
+	}
+	return roots
+}
+
+// CoverageEdges implements coherent.CoverageEnumerator: a live copy's
+// child pointers plus the victim-buffer tombstones left by replaced
+// copies below node n.
+func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.NodeID) []coherent.NodeID {
+	var out []coherent.NodeID
+	if ln := m.Nodes[n].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
+		out = append(out, liveChildren(ln)...)
+	}
+	out = append(out, e.tombs[aggKey{n, b}]...)
+	return out
+}
+
+// CheckShape implements coherent.ShapeChecker: STP keeps at most one
+// root per block and at most two live children per copy, with live
+// child edges forming no cycle until the first teardown (see
+// core.CheckForestShape for why teardown relaxes acyclicity).
+func (e *Engine) CheckShape(m *coherent.Machine, b coherent.BlockID) error {
+	en := e.entries[b]
+	if en == nil {
+		return nil
+	}
+	var roots []coherent.NodeID
+	if en.root != coherent.NoNode {
+		roots = append(roots, en.root)
+	}
+	return core.CheckForestShape(roots, 1, 2, !e.torn[b], func(n coherent.NodeID) []coherent.NodeID {
+		ln := m.Nodes[n].Cache.Lookup(b)
+		if ln == nil || ln.State == cache.Invalid {
+			return nil
+		}
+		return liveChildren(ln)
+	})
+}
+
+func sortedAggKeys(m map[aggKey]*agg) []aggKey {
+	out := make([]aggKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortedTombKeys(m map[aggKey][]coherent.NodeID) []aggKey {
+	out := make([]aggKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(keys []aggKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].b != keys[j].b {
+			return keys[i].b < keys[j].b
+		}
+		return keys[i].n < keys[j].n
+	})
+}

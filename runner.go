@@ -68,9 +68,9 @@ func RunExperimentsProgress(ctx context.Context, exps []Experiment, parallelism 
 				if err := ctx.Err(); err != nil {
 					out[i].Err = err
 				} else {
-					start := time.Now()
+					start := time.Now() //dirccvet:allow simdet Elapsed is host-side progress timing; nothing deterministic depends on it
 					r, err := RunExperiment(exps[i])
-					out[i] = ResultOrErr{Result: r, Err: err, Elapsed: time.Since(start)}
+					out[i] = ResultOrErr{Result: r, Err: err, Elapsed: time.Since(start)} //dirccvet:allow simdet same wall-clock Elapsed measurement
 				}
 				if onDone != nil {
 					mu.Lock()
