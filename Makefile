@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench sweep cover lint check
+.PHONY: all build test tier1 vet race bench perf sweep cover lint check clean
 
 all: tier1
 
@@ -38,9 +38,17 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the hot-path micro-benchmarks. Save the output before and
-# after a change and compare with benchstat.
+# after a change and compare with cmd/benchdiff (or benchstat).
 bench:
 	$(GO) test -bench 'EngineScheduleRun|NetworkSend' -benchmem -run '^$$' ./internal/sim ./internal/network
+
+# perf reruns the micro-benchmarks and diffs them against the newest
+# committed BENCH_PR*.json snapshot; exits nonzero past a 15% ns/op
+# regression. CI runs this warn-only — single-run numbers on shared
+# runners are noisy.
+perf:
+	$(GO) test -bench 'EngineScheduleRun|NetworkSend' -benchmem -run '^$$' ./internal/sim ./internal/network > bench.out
+	$(GO) run ./cmd/benchdiff -gate -threshold 0.15 $$(ls BENCH_PR*.json | sort -V | tail -1) bench.out
 
 # sweep times the default experiment grid end to end.
 sweep:
@@ -53,3 +61,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 25
 	@echo "full per-function report: go tool cover -func=coverage.out"
 	@echo "HTML report:              go tool cover -html=coverage.out"
+
+# clean removes generated artifacts.
+clean:
+	rm -f coverage.out bench.out

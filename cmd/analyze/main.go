@@ -7,6 +7,12 @@
 //	analyze -app mp3d -procs 16            # record then analyze
 //	analyze -trace ref.trace               # analyze a recorded trace
 //	analyze -app lu -blocks 8,16,32,64     # block-size sensitivity
+//	analyze -attrib attrib.json            # pretty-print sweep attribution
+//
+// -attrib reads the latency-attribution JSON written by
+// `sweep -attrib-json` and renders each experiment's phase breakdown,
+// critical-path histogram, and invalidation-wave structure as aligned
+// tables.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"dircc"
+	"dircc/internal/attrib"
 	"dircc/internal/trace"
 )
 
@@ -28,7 +35,15 @@ func main() {
 	traceFile := flag.String("trace", "", "analyze this trace file instead of recording")
 	blocks := flag.String("blocks", "8", "comma-separated block sizes in bytes")
 	jsonOut := flag.Bool("json", false, "print the analysis as JSON instead of text")
+	attribFile := flag.String("attrib", "", "pretty-print a latency-attribution JSON file written by sweep -attrib-json")
 	flag.Parse()
+
+	if *attribFile != "" {
+		if err := printAttrib(*attribFile); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var tr *dircc.Trace
 	if *traceFile != "" {
@@ -97,6 +112,38 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// printAttrib renders the sweep's latency-attribution JSON as one
+// aligned table block per experiment.
+func printAttrib(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var rows []struct {
+		App      string         `json:"app"`
+		Scheme   string         `json:"scheme"`
+		Procs    int            `json:"procs"`
+		Topology string         `json:"topology"`
+		Report   *attrib.Report `json:"report"`
+	}
+	if err := json.NewDecoder(f).Decode(&rows); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for i, r := range rows {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s / %s / %d procs / %s ===\n", r.App, r.Scheme, r.Procs, r.Topology)
+		if r.Report == nil {
+			fmt.Println("  (no report)")
+			continue
+		}
+		r.Report.WriteTable(os.Stdout)
+	}
+	return nil
 }
 
 func fail(err error) {

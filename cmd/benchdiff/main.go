@@ -1,0 +1,97 @@
+// Command benchdiff compares two benchmark runs and reports per-
+// benchmark deltas, for the warn-only perf job in CI and for writing
+// the BENCH_PR<N>.json snapshots.
+//
+// Each input is a BENCH_*.json snapshot (canonical or the PR-1 legacy
+// before/after schema) or raw `go test -bench` output; "-" reads raw
+// output from stdin. With one input benchdiff just parses and prints
+// it (useful with -emit to snapshot a fresh run).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchdiff BENCH_PR1.json -
+//	benchdiff -emit BENCH_PR4.json -pr 4 bench.txt
+//	benchdiff -gate -threshold 0.15 BENCH_PR4.json bench.txt
+//
+// -gate exits 1 when any benchmark's ns/op regressed by more than
+// -threshold (default 0.10 = 10%). Benchmarks present on only one side
+// never gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dircc/internal/benchfmt"
+)
+
+func main() {
+	emit := flag.String("emit", "", "write the new (last) input as a canonical snapshot JSON to this file")
+	pr := flag.Int("pr", 0, "PR number to tag the emitted snapshot with")
+	title := flag.String("title", "", "title to tag the emitted snapshot with")
+	gate := flag.Bool("gate", false, "exit 1 when any ns/op regression exceeds -threshold")
+	threshold := flag.Float64("threshold", 0.10, "relative ns/op regression the gate tolerates")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <old> [<new>]  (snapshot JSON, raw bench output, or - for stdin)")
+		os.Exit(2)
+	}
+
+	snaps := make([]*benchfmt.Snapshot, len(args))
+	for i, path := range args {
+		s, err := benchfmt.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		snaps[i] = s
+	}
+	cur := snaps[len(snaps)-1]
+
+	if *emit != "" {
+		out := *cur
+		out.PR = *pr
+		out.Title = *title
+		out.Go = runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+		f, err := os.Create(*emit)
+		if err != nil {
+			fail(err)
+		}
+		if err := out.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmarks to %s\n", len(out.Benchmarks), *emit)
+	}
+
+	if len(snaps) == 1 {
+		benchfmt.WriteTable(os.Stdout, benchfmt.Diff(cur, cur))
+		return
+	}
+
+	deltas := benchfmt.Diff(snaps[0], cur)
+	benchfmt.WriteTable(os.Stdout, deltas)
+
+	regressed := false
+	for _, d := range deltas {
+		if pct := d.PctNs(); pct > *threshold {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (threshold %.1f%%)\n",
+				d.Name, 100*pct, 100**threshold)
+			regressed = true
+		}
+	}
+	if regressed && *gate {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

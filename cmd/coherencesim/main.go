@@ -13,8 +13,11 @@
 // (ui.perfetto.dev) or chrome://tracing; a path ending in .jsonl
 // selects the raw structured event log instead. -timeseries writes a
 // per-interval counters CSV. -watchdog N dumps the machine state to
-// stderr when no processor makes progress for N cycles. -json prints
-// the result as JSON instead of text.
+// stderr when no processor makes progress for N cycles (-watchdog-json
+// switches the dump to one JSON object, and a fired watchdog makes the
+// command exit 2). -attrib prints the per-transaction latency
+// attribution (phase breakdown, critical path, invalidation-wave
+// structure). -json prints the result as JSON instead of text.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"strings"
 
 	"dircc"
+	"dircc/internal/attrib"
 	"dircc/internal/trace"
 )
 
@@ -40,12 +44,19 @@ func main() {
 	timeseries := flag.String("timeseries", "", "write a counters time-series CSV here")
 	sampleEvery := flag.Uint64("sample-every", 10000, "time-series sampling interval in simulated cycles")
 	watchdog := flag.Uint64("watchdog", 0, "stall watchdog threshold in cycles (0 = off)")
+	watchdogJSON := flag.Bool("watchdog-json", false, "emit watchdog reports as machine-readable JSON lines")
+	attribOut := flag.Bool("attrib", false, "print the per-transaction latency attribution after the counters")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
 	flag.Parse()
 
 	var oc *dircc.ObsConfig
-	if *traceOut != "" || *timeseries != "" || *watchdog > 0 {
-		oc = &dircc.ObsConfig{Trace: *traceOut != "", StallCycles: *watchdog}
+	if *traceOut != "" || *timeseries != "" || *watchdog > 0 || *attribOut {
+		oc = &dircc.ObsConfig{
+			Trace:        *traceOut != "",
+			StallCycles:  *watchdog,
+			WatchdogJSON: *watchdogJSON,
+			Attrib:       *attribOut,
+		}
 		if *timeseries != "" {
 			oc.SampleEvery = *sampleEvery
 		}
@@ -133,6 +144,7 @@ func main() {
 		}
 	}
 
+	stalled := r.Probe != nil && r.Probe.Watchdog != nil && r.Probe.Watchdog.Stalled()
 	if *jsonOut {
 		out := struct {
 			App      string          `json:"app"`
@@ -142,21 +154,34 @@ func main() {
 			Full     bool            `json:"full"`
 			Cycles   uint64          `json:"cycles"`
 			Counters *dircc.Counters `json:"counters"`
+			Attrib   *attrib.Report  `json:"attrib,omitempty"`
+			Stalled  bool            `json:"stalled,omitempty"`
 		}{
 			App: r.Experiment.App, Protocol: r.Experiment.Protocol,
 			Procs: r.Experiment.Procs, Topology: r.Experiment.Topology,
 			Full: r.Experiment.Full, Cycles: r.Cycles, Counters: r.Counters,
+			Stalled: stalled,
+		}
+		if r.Attrib != nil {
+			out.Attrib = r.Attrib.Report()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fail(err)
 		}
-		return
+	} else {
+		fmt.Print(r.Counters.String())
+		if r.Attrib != nil {
+			fmt.Println()
+			r.Attrib.Report().WriteTable(os.Stdout)
+		}
 	}
-	fmt.Print(r.Counters.String())
-	if p := r.Probe; p != nil && p.Watchdog != nil && p.Watchdog.Stalled() {
-		fmt.Fprintln(os.Stderr, "coherencesim: the stall watchdog fired during this run (see the dump above)")
+	if stalled {
+		// Exit 2 distinguishes "the run finished but the watchdog fired"
+		// from hard failures (exit 1), so CI can gate on stalls.
+		fmt.Fprintln(os.Stderr, "coherencesim: the stall watchdog fired during this run")
+		os.Exit(2)
 	}
 }
 

@@ -9,9 +9,17 @@
 //	figures -fig 10      # only Figure 10 (Floyd-Warshall)
 //	figures -full        # paper-scale workload parameters
 //	figures -procs 8,16  # restrict the machine sizes
+//	figures -decompose   # per-phase read/write miss latency by scheme
+//
+// -decompose replaces the normalized-time tables with a latency
+// decomposition: each scheme's mean miss latency split into the six
+// attribution phases (issue, request transit, home queue, service,
+// reply transit, tail), the quantitative backing for the paper's
+// critical-path arguments.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"dircc"
+	"dircc/internal/attrib"
 	"dircc/internal/stats"
 )
 
@@ -27,6 +36,7 @@ var figApps = map[int]string{8: "mp3d", 9: "lu", 10: "floyd", 11: "fft"}
 func main() {
 	fig := flag.Int("fig", 0, "figure number (8=mp3d, 9=lu, 10=floyd, 11=fft); 0 = all")
 	plot := flag.Bool("plot", false, "render ASCII bar charts (baseline marked at 1.0)")
+	decompose := flag.Bool("decompose", false, "print the per-phase miss-latency decomposition instead of normalized times")
 	full := flag.Bool("full", false, "use the paper-scale workload parameters")
 	procsFlag := flag.String("procs", "8,16,32", "comma-separated machine sizes")
 	schemesFlag := flag.String("schemes", strings.Join(dircc.PaperSchemes(), ","), "comma-separated schemes")
@@ -53,6 +63,19 @@ func main() {
 			os.Exit(1)
 		}
 		figs = []int{*fig}
+	}
+
+	if *decompose {
+		for _, f := range figs {
+			app := figApps[f]
+			for _, n := range sizes {
+				if err := printDecomposition(app, n, schemes, *full); err != nil {
+					fmt.Fprintf(os.Stderr, "figures: %s on %d procs: %v\n", app, n, err)
+					os.Exit(1)
+				}
+			}
+		}
+		return
 	}
 
 	for _, f := range figs {
@@ -91,4 +114,44 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// printDecomposition runs every scheme with latency attribution on and
+// prints the per-phase mean miss latency, reads and writes separately.
+func printDecomposition(app string, procs int, schemes []string, full bool) error {
+	exps := make([]dircc.Experiment, len(schemes))
+	for i, s := range schemes {
+		exps[i] = dircc.Experiment{
+			App: app, Protocol: s, Procs: procs, Full: full,
+			Obs: &dircc.ObsConfig{Attrib: true},
+		}
+	}
+	results := dircc.RunExperiments(context.Background(), exps, 0)
+	for _, cls := range []string{"read", "write"} {
+		fmt.Printf("%s on %d processors: mean %s-miss latency by phase (cycles)\n", app, procs, cls)
+		header := fmt.Sprintf("%-10s", "scheme")
+		for ph := attrib.PhaseIssue; ph < attrib.NumPhases; ph++ {
+			header += fmt.Sprintf("%14s", ph)
+		}
+		header += fmt.Sprintf("%14s%10s", "total", "path")
+		fmt.Println(header)
+		for i, res := range results {
+			if res.Err != nil {
+				return res.Err
+			}
+			rep := res.Result.Attrib.Report()
+			agg := &rep.Reads
+			if cls == "write" {
+				agg = &rep.Writes
+			}
+			row := fmt.Sprintf("%-10s", schemes[i])
+			for ph := attrib.PhaseIssue; ph < attrib.NumPhases; ph++ {
+				row += fmt.Sprintf("%14.2f", agg.MeanPhase(ph))
+			}
+			row += fmt.Sprintf("%14.2f%10.2f", agg.MeanTotal(), agg.MeanPathMsgs())
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	return nil
 }

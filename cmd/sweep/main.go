@@ -8,7 +8,9 @@
 //
 // When stderr is a terminal (or -progress is given), a live
 // completed/total line with per-experiment wall times is printed to
-// stderr; stdout carries only the CSV either way.
+// stderr; stdout carries only the CSV either way. With -http the same
+// progress is served live over HTTP: an HTML dashboard at /, Prometheus
+// metrics at /metrics, and JSON at /progress.
 //
 // Usage:
 //
@@ -16,20 +18,23 @@
 //	sweep -apps floyd,fft -schemes fm,T4 -procs 8,32 -full
 //	sweep -topologies hypercube,torus,bus -j 8
 //	sweep -trace-dir traces -timeseries-dir ts   # per-experiment exports
+//	sweep -attrib attrib.csv -attrib-json attrib.json
+//	sweep -http :8080                            # live telemetry
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"dircc"
+	"dircc/internal/attrib"
 )
 
 func main() {
@@ -45,6 +50,10 @@ func main() {
 	tsDir := flag.String("timeseries-dir", "", "write one time-series CSV per experiment into this directory")
 	sampleEvery := flag.Uint64("sample-every", 10000, "time-series sampling interval in simulated cycles")
 	watchdog := flag.Uint64("watchdog", 0, "per-experiment stall watchdog threshold in cycles (0 = off)")
+	watchdogJSON := flag.Bool("watchdog-json", false, "emit watchdog reports as machine-readable JSON lines")
+	attribOut := flag.String("attrib", "", "write per-experiment latency-attribution CSV to this file")
+	attribJSONOut := flag.String("attrib-json", "", "write per-experiment latency-attribution JSON to this file")
+	httpAddr := flag.String("http", "", "serve live sweep telemetry on this address (e.g. :8080)")
 	flag.Parse()
 
 	var sizes []int
@@ -75,20 +84,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: warning: \"fm\" not in -schemes; normalized column will be NaN (no baseline)")
 	}
 
-	var oc *dircc.ObsConfig
-	if *traceDir != "" || *tsDir != "" || *watchdog > 0 {
-		oc = &dircc.ObsConfig{Trace: *traceDir != "", StallCycles: *watchdog}
-		if *tsDir != "" {
-			oc.SampleEvery = *sampleEvery
+	wantAttrib := *attribOut != "" || *attribJSONOut != ""
+	needObs := *traceDir != "" || *tsDir != "" || *watchdog > 0 || wantAttrib || *httpAddr != ""
+	for _, dir := range []string{*traceDir, *tsDir} {
+		if dir == "" {
+			continue
 		}
-		for _, dir := range []string{*traceDir, *tsDir} {
-			if dir == "" {
-				continue
-			}
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
-			}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -102,10 +106,44 @@ func main() {
 					exps = append(exps, dircc.Experiment{
 						App: app, Protocol: scheme, Procs: procs,
 						Full: *full, Check: *check, Topology: topo,
-						Obs: oc,
 					})
 				}
 			}
+		}
+	}
+
+	// Live telemetry server. Each experiment gets its own ObsConfig so
+	// the monitor can hand it a private gauge.
+	var monitor *dircc.SweepMonitor
+	if *httpAddr != "" {
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > len(exps) {
+			workers = len(exps)
+		}
+		monitor = dircc.NewSweepMonitor(exps, workers)
+		monitor.Serve(*httpAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "sweep: telemetry server:", err)
+		})
+		fmt.Fprintf(os.Stderr, "sweep: live telemetry on http://localhost%s/ (metrics at /metrics)\n", *httpAddr)
+	}
+	if needObs {
+		for i := range exps {
+			oc := &dircc.ObsConfig{
+				Trace:        *traceDir != "",
+				StallCycles:  *watchdog,
+				WatchdogJSON: *watchdogJSON,
+				Attrib:       wantAttrib,
+			}
+			if *tsDir != "" {
+				oc.SampleEvery = *sampleEvery
+			}
+			if monitor != nil {
+				oc.Gauge = monitor.Gauge(i)
+			}
+			exps[i].Obs = oc
 		}
 	}
 
@@ -127,8 +165,19 @@ func main() {
 				orDefault(exp.Topology, "hypercube"), status, r.Elapsed.Seconds())
 		}
 	}
+	var onStart func(i int)
+	if monitor != nil {
+		onStart = monitor.Start
+		userDone := onDone
+		onDone = func(i int, r dircc.ResultOrErr) {
+			monitor.Done(i, r)
+			if userDone != nil {
+				userDone(i, r)
+			}
+		}
+	}
 
-	results := dircc.RunExperimentsProgress(context.Background(), exps, *jobs, onDone)
+	results := dircc.RunExperimentsLive(context.Background(), exps, *jobs, onStart, onDone)
 
 	fmt.Println("app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
 		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles")
@@ -146,6 +195,14 @@ func main() {
 			continue
 		}
 		r := res.Result
+		if r.Probe != nil && r.Probe.Watchdog != nil && r.Probe.Watchdog.Stalled() {
+			// A stalled run still quiesced (livelock episodes can
+			// resolve), but CI must notice: the watchdog fired, so the
+			// sweep exits nonzero.
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%d/%s: watchdog reported a stall\n",
+				exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"))
+			failed = true
+		}
 		if exp.Protocol == "fm" {
 			baseline = r.Cycles
 		}
@@ -159,7 +216,13 @@ func main() {
 			c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
 			c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
 			c.AvgReadMissLatency(), c.AvgWriteMissLatency())
-		if err := writeExports(exp, r, *traceDir, *tsDir); err != nil {
+		if err := dircc.WriteExports(exp, r, *traceDir, *tsDir); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			failed = true
+		}
+	}
+	if wantAttrib {
+		if err := writeAttrib(exps, results, *attribOut, *attribJSONOut); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			failed = true
 		}
@@ -169,32 +232,50 @@ func main() {
 	}
 }
 
-// writeExports dumps the experiment's trace and time series (when
-// captured) into the export directories, one file per grid point.
-func writeExports(exp dircc.Experiment, r *dircc.Result, traceDir, tsDir string) error {
-	if r.Probe == nil {
-		return nil
+// writeAttrib emits the per-experiment latency-attribution reports as
+// CSV and/or JSON. The main results CSV on stdout is untouched —
+// attribution always goes to its own files.
+func writeAttrib(exps []dircc.Experiment, results []dircc.ResultOrErr, csvPath, jsonPath string) error {
+	type row struct {
+		App      string         `json:"app"`
+		Scheme   string         `json:"scheme"`
+		Procs    int            `json:"procs"`
+		Topology string         `json:"topology"`
+		Report   *attrib.Report `json:"report"`
 	}
-	stem := fmt.Sprintf("%s_%s_%d_%s", exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"))
-	if r.Probe.Trace != nil && traceDir != "" {
-		f, err := os.Create(filepath.Join(traceDir, stem+".trace.json"))
+	var rows []row
+	for i, res := range results {
+		if res.Err != nil || res.Result == nil || res.Result.Attrib == nil {
+			continue
+		}
+		exp := exps[i]
+		rows = append(rows, row{
+			App: exp.App, Scheme: exp.Protocol, Procs: exp.Procs,
+			Topology: orDefault(exp.Topology, "hypercube"),
+			Report:   res.Result.Attrib.Report(),
+		})
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
-		if err := r.Probe.Trace.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
+		fmt.Fprintf(f, "app,scheme,procs,topology,%s\n", attrib.CSVHeader())
+		for _, r := range rows {
+			fmt.Fprintf(f, "%s,%s,%d,%s,%s\n", r.App, r.Scheme, r.Procs, r.Topology, r.Report.CSVRow())
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
 	}
-	if r.Probe.Sampler != nil && tsDir != "" {
-		f, err := os.Create(filepath.Join(tsDir, stem+".timeseries.csv"))
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
 		if err != nil {
 			return err
 		}
-		if err := r.Probe.Sampler.WriteCSV(f); err != nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
 			f.Close()
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"dircc/internal/apps"
+	"dircc/internal/attrib"
 	"dircc/internal/coherent"
 	"dircc/internal/obs"
 	"dircc/internal/proc"
@@ -69,11 +70,23 @@ type ObsConfig struct {
 	StallCycles uint64
 	// WatchdogOut receives watchdog reports; defaults to os.Stderr.
 	WatchdogOut io.Writer
+	// WatchdogJSON switches watchdog reports to one JSON object per
+	// firing, for CI gates that parse the output.
+	WatchdogJSON bool
+	// Attrib attaches a latency-attribution collector (internal/attrib)
+	// as an in-process sink on the event stream; the folded report is
+	// returned in Result.Attrib.
+	Attrib bool
+	// Gauge, when non-nil, receives live execution counters (cycle,
+	// events, queue depth) from the running engine for concurrent
+	// telemetry scrapes. The caller owns the gauge.
+	Gauge *obs.Gauge
 }
 
 // probe builds the obs.Probe described by the config, reading counter
-// snapshots from ctr.
-func (oc *ObsConfig) probe(ctr *Counters) *obs.Probe {
+// snapshots from ctr. The second return value is the attribution
+// collector, when enabled.
+func (oc *ObsConfig) probe(ctr *Counters) (*obs.Probe, *attrib.Collector) {
 	p := &obs.Probe{}
 	if oc.Trace {
 		p.Trace = obs.NewTrace()
@@ -87,8 +100,15 @@ func (oc *ObsConfig) probe(ctr *Counters) *obs.Probe {
 			out = os.Stderr
 		}
 		p.Watchdog = obs.NewWatchdog(oc.StallCycles, out)
+		p.Watchdog.JSON = oc.WatchdogJSON
 	}
-	return p
+	var col *attrib.Collector
+	if oc.Attrib {
+		col = attrib.NewCollector()
+		p.Sinks = append(p.Sinks, col)
+	}
+	p.Gauge = oc.Gauge
+	return p, col
 }
 
 // Result is the outcome of one experiment.
@@ -101,6 +121,9 @@ type Result struct {
 	// Probe holds the observability instruments attached via
 	// Experiment.Obs (trace, sampler, watchdog); nil when none were.
 	Probe *obs.Probe
+	// Attrib holds the latency-attribution collector attached via
+	// ObsConfig.Attrib; nil when attribution was off.
+	Attrib *attrib.Collector
 }
 
 // RunExperiment executes one experiment and verifies the workload's
@@ -128,8 +151,9 @@ func RunExperiment(exp Experiment) (*Result, error) {
 		return nil, err
 	}
 	var probe *obs.Probe
+	var col *attrib.Collector
 	if exp.Obs != nil {
-		probe = exp.Obs.probe(m.Ctr)
+		probe, col = exp.Obs.probe(m.Ctr)
 		m.AttachProbe(probe)
 	}
 	body, check := app.Prepare(m)
@@ -140,7 +164,7 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	if err := check(); err != nil {
 		return nil, fmt.Errorf("dircc: %s/%s/%d produced a wrong answer: %w", exp.App, exp.Protocol, exp.Procs, err)
 	}
-	return &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr, Probe: probe}, nil
+	return &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr, Probe: probe, Attrib: col}, nil
 }
 
 // newMachineFor builds a machine on the named interconnect.

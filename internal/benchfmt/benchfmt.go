@@ -1,0 +1,266 @@
+// Package benchfmt parses Go benchmark results — raw `go test -bench`
+// output or the repo's BENCH_*.json snapshots — into a common form so
+// cmd/benchdiff can compare runs across PRs. Only the standard library
+// is used; the parser understands the stable subset of the benchmark
+// text format (name, iterations, ns/op, B/op, allocs/op).
+package benchfmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured performance.
+type Result struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix
+	// (BenchmarkNetworkSend, not BenchmarkNetworkSend-4).
+	Name string `json:"name"`
+	// Package is the import path, when known.
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N for the recorded run (0 when unknown).
+	Iterations int64 `json:"iterations,omitempty"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation (-benchmem).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation (-benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is a set of benchmark results from one run, the schema of
+// the BENCH_PR<N>.json files from PR 4 on.
+type Snapshot struct {
+	// PR tags which PR produced the snapshot (0 when untagged).
+	PR int `json:"pr,omitempty"`
+	// Title is a free-form description of the run.
+	Title string `json:"title,omitempty"`
+	// Go is the toolchain version string (go1.24.0 linux/amd64).
+	Go string `json:"go,omitempty"`
+	// Benchmarks holds the results, sorted by name.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Find returns the result with the given name, or nil.
+func (s *Snapshot) Find(name string) *Result {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// sortResults orders benchmarks by name for deterministic output.
+func (s *Snapshot) sortResults() {
+	sort.Slice(s.Benchmarks, func(i, j int) bool {
+		return s.Benchmarks[i].Name < s.Benchmarks[j].Name
+	})
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	s.sortResults()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseBench reads raw `go test -bench` output. Lines it does not
+// recognize (PASS, ok, goos/goarch headers) are skipped; "pkg:" lines
+// set the package for the benchmarks that follow.
+func ParseBench(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		res.Package = pkg
+		// Re-runs of the same benchmark (e.g. -count) keep the last
+		// sample; benchdiff compares snapshots, not distributions.
+		if prev := s.Find(res.Name); prev != nil {
+			*prev = res
+		} else {
+			s.Benchmarks = append(s.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	s.sortResults()
+	return s, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkNetworkSend-4   8550280   139.8 ns/op   24 B/op   1 allocs/op
+func parseBenchLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, fmt.Errorf("benchfmt: short benchmark line %q", line)
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchfmt: bad iteration count in %q", line)
+	}
+	res := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, nil
+}
+
+// legacySnapshot matches the hand-authored BENCH_PR1.json schema:
+// per-benchmark before/after measurements. Loading one keeps the
+// "after" side — the numbers that PR shipped with.
+type legacySnapshot struct {
+	PR      int    `json:"pr"`
+	Title   string `json:"title"`
+	Machine struct {
+		Go string `json:"go"`
+	} `json:"machine"`
+	Microbenchmarks map[string]struct {
+		Package string       `json:"package"`
+		After   legacySample `json:"after"`
+	} `json:"microbenchmarks"`
+}
+
+type legacySample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Load reads a benchmark input from path: a canonical snapshot JSON, a
+// legacy BENCH_PR1-style JSON, or raw `go test -bench` text. "-" reads
+// stdin (text only). The format is sniffed from the content, not the
+// file name.
+func Load(path string) (*Snapshot, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("benchfmt: %s is empty", path)
+	}
+	if trimmed[0] != '{' {
+		return ParseBench(bytes.NewReader(data))
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err == nil && len(s.Benchmarks) > 0 {
+		s.sortResults()
+		return &s, nil
+	}
+	var leg legacySnapshot
+	if err := json.Unmarshal(data, &leg); err != nil || len(leg.Microbenchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: %s: not a benchmark snapshot (no \"benchmarks\" or \"microbenchmarks\" key)", path)
+	}
+	out := &Snapshot{PR: leg.PR, Title: leg.Title, Go: leg.Machine.Go}
+	for name, mb := range leg.Microbenchmarks {
+		out.Benchmarks = append(out.Benchmarks, Result{
+			Name: name, Package: mb.Package,
+			NsPerOp: mb.After.NsPerOp, BytesPerOp: mb.After.BytesPerOp,
+			AllocsPerOp: mb.After.AllocsPerOp,
+		})
+	}
+	out.sortResults()
+	return out, nil
+}
+
+// Delta is one benchmark's old→new comparison.
+type Delta struct {
+	Name     string
+	Old, New *Result // either may be nil (added/removed benchmark)
+}
+
+// PctNs returns the relative ns/op change (+0.10 = 10% slower), or 0
+// when either side is missing or zero.
+func (d Delta) PctNs() float64 {
+	if d.Old == nil || d.New == nil || d.Old.NsPerOp == 0 {
+		return 0
+	}
+	return d.New.NsPerOp/d.Old.NsPerOp - 1
+}
+
+// Diff matches two snapshots by benchmark name, sorted by name.
+func Diff(old, new *Snapshot) []Delta {
+	names := map[string]bool{}
+	for _, r := range old.Benchmarks {
+		names[r.Name] = true
+	}
+	for _, r := range new.Benchmarks {
+		names[r.Name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	out := make([]Delta, 0, len(sorted))
+	for _, n := range sorted {
+		out = append(out, Delta{Name: n, Old: old.Find(n), New: new.Find(n)})
+	}
+	return out
+}
+
+// WriteTable renders the deltas as an aligned comparison table.
+func WriteTable(w io.Writer, deltas []Delta) {
+	fmt.Fprintf(w, "%-36s %12s %12s %8s %10s %10s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old B/op", "new B/op", "old al", "new al")
+	for _, d := range deltas {
+		row := fmt.Sprintf("%-36s", d.Name)
+		switch {
+		case d.Old == nil:
+			fmt.Fprintf(w, "%s %12s %12.1f %8s %10s %10.0f %8s %8.0f\n",
+				row, "-", d.New.NsPerOp, "added", "-", d.New.BytesPerOp, "-", d.New.AllocsPerOp)
+		case d.New == nil:
+			fmt.Fprintf(w, "%s %12.1f %12s %8s %10.0f %10s %8.0f %8s\n",
+				row, d.Old.NsPerOp, "-", "removed", d.Old.BytesPerOp, "-", d.Old.AllocsPerOp, "-")
+		default:
+			fmt.Fprintf(w, "%s %12.1f %12.1f %+7.1f%% %10.0f %10.0f %8.0f %8.0f\n",
+				row, d.Old.NsPerOp, d.New.NsPerOp, 100*d.PctNs(),
+				d.Old.BytesPerOp, d.New.BytesPerOp, d.Old.AllocsPerOp, d.New.AllocsPerOp)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: dircc/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineScheduleRun 	15433944	        77.80 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dircc/internal/sim	1.283s
+pkg: dircc/internal/network
+BenchmarkNetworkSend-4 	 8246545	       153.0 ns/op	      24 B/op	       1 allocs/op
+ok  	dircc/internal/network	1.413s
+`
+
+func TestParseBench(t *testing.T) {
+	s, err := ParseBench(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(s.Benchmarks))
+	}
+	r := s.Find("BenchmarkEngineScheduleRun")
+	if r == nil {
+		t.Fatal("BenchmarkEngineScheduleRun not found")
+	}
+	if r.NsPerOp != 77.80 || r.AllocsPerOp != 0 || r.Package != "dircc/internal/sim" {
+		t.Errorf("bad parse: %+v", r)
+	}
+	// The -GOMAXPROCS suffix must be stripped so runs on different
+	// machines compare by name.
+	r = s.Find("BenchmarkNetworkSend")
+	if r == nil {
+		t.Fatal("BenchmarkNetworkSend not found (suffix not stripped?)")
+	}
+	if r.NsPerOp != 153.0 || r.BytesPerOp != 24 || r.AllocsPerOp != 1 || r.Iterations != 8246545 {
+		t.Errorf("bad parse: %+v", r)
+	}
+}
+
+const legacyJSON = `{
+  "pr": 1,
+  "title": "hot path",
+  "machine": {"go": "go1.24.0 linux/amd64"},
+  "microbenchmarks": {
+    "BenchmarkEngineScheduleRun": {
+      "package": "dircc/internal/sim",
+      "before": {"ns_per_op": 191.3, "bytes_per_op": 47, "allocs_per_op": 1},
+      "after": {"ns_per_op": 78.4, "bytes_per_op": 0, "allocs_per_op": 0}
+    }
+  }
+}`
+
+func TestLoadFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(legacyJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PR != 1 || s.Go != "go1.24.0 linux/amd64" {
+		t.Errorf("legacy header: %+v", s)
+	}
+	r := s.Find("BenchmarkEngineScheduleRun")
+	if r == nil || r.NsPerOp != 78.4 {
+		t.Errorf("legacy load must keep the after side, got %+v", r)
+	}
+
+	raw := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(raw, []byte(rawBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Benchmarks) != 2 {
+		t.Errorf("raw load: got %d benchmarks, want 2", len(s2.Benchmarks))
+	}
+
+	// Round trip: canonical JSON written by WriteJSON loads back.
+	canon := filepath.Join(dir, "canon.json")
+	f, err := os.Create(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s3, err := Load(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3.Benchmarks) != 2 || s3.Find("BenchmarkNetworkSend").NsPerOp != 153.0 {
+		t.Errorf("round trip: %+v", s3)
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading a missing file must fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"unrelated": true}`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("loading unrelated JSON must fail")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Result{
+		{Name: "A", NsPerOp: 100},
+		{Name: "Removed", NsPerOp: 50},
+	}}
+	new := &Snapshot{Benchmarks: []Result{
+		{Name: "A", NsPerOp: 125},
+		{Name: "Added", NsPerOp: 10},
+	}}
+	deltas := Diff(old, new)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if pct := byName["A"].PctNs(); pct < 0.249 || pct > 0.251 {
+		t.Errorf("A delta = %v, want 0.25", pct)
+	}
+	if d := byName["Added"]; d.Old != nil || d.New == nil || d.PctNs() != 0 {
+		t.Errorf("added benchmark must not gate: %+v", d)
+	}
+	if d := byName["Removed"]; d.New != nil || d.PctNs() != 0 {
+		t.Errorf("removed benchmark must not gate: %+v", d)
+	}
+
+	var sb strings.Builder
+	WriteTable(&sb, deltas)
+	out := sb.String()
+	for _, want := range []string{"added", "removed", "+25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -227,7 +227,17 @@ func (m *Machine) AttachProbe(p *obs.Probe) {
 		m.Net.SetProbe(nil)
 		return
 	}
-	m.Eng.SetProbe(func(t sim.Time) { p.Tick(uint64(t)) })
+	if g := p.Gauge; g != nil {
+		// The gauge reads Executed/Pending on the simulation goroutine
+		// (inside the per-event tick) and publishes them atomically, so
+		// a concurrent telemetry scrape never touches engine internals.
+		m.Eng.SetProbe(func(t sim.Time) {
+			p.Tick(uint64(t))
+			g.Note(uint64(t), m.Eng.Executed(), m.Eng.Pending())
+		})
+	} else {
+		m.Eng.SetProbe(func(t sim.Time) { p.Tick(uint64(t)) })
+	}
 	if p.Sampler != nil {
 		m.Net.SetProbe(func(start, arrive, unloaded sim.Time) {
 			p.NetSend(uint64(start), uint64(arrive), uint64(unloaded))
@@ -563,7 +573,7 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 func (m *Machine) Send(msg *Msg) {
 	if m.Probe != nil {
 		msg.probeID = m.Probe.MsgSend(uint64(m.Eng.Now()), msg.Type.String(),
-			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester))
+			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester), msg.ToDir)
 	}
 	if m.sendHook != nil {
 		m.sendHook(msg, func() { m.dispatch(msg) })
@@ -602,7 +612,7 @@ func (m *Machine) ReplaceBlock(n NodeID, b BlockID) bool {
 func (m *Machine) dispatch(msg *Msg) {
 	if m.Probe != nil {
 		m.Probe.MsgDeliver(uint64(m.Eng.Now()), msg.probeID, msg.Type.String(),
-			int(msg.Src), int(msg.Dst), uint64(msg.Block))
+			int(msg.Src), int(msg.Dst), uint64(msg.Block), msg.ToDir)
 	}
 	if !msg.ToDir {
 		m.proto.CacheMsg(m, msg)
@@ -713,6 +723,9 @@ func (m *Machine) Quiesce() error {
 		}
 		if m.Probe.Sampler != nil {
 			m.Probe.Sampler.Flush(uint64(m.Eng.Now()))
+		}
+		if m.Probe.Gauge != nil {
+			m.Probe.Gauge.Finish(uint64(m.Eng.Now()), m.Eng.Executed())
 		}
 	}
 	return err

@@ -92,6 +92,10 @@ type agg struct {
 	left  int
 	to    coherent.NodeID
 	toDir bool
+	// req is the writer whose wave this aggregation belongs to, carried
+	// onto the aggregated ack for latency attribution (not on the wire:
+	// Msg.Bytes ignores Requester).
+	req coherent.NodeID
 }
 
 // Engine implements Dir_iTree_k for one machine.
@@ -583,6 +587,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 	a.armed = true
 	a.to = msg.AckTo
 	a.toDir = msg.AckDir
+	a.req = msg.Requester
 	if msg.SibAck {
 		a.left++
 	}
@@ -654,7 +659,7 @@ func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
 	delete(e.aggs, key)
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: key.n, Dst: a.to, Block: key.b,
-		ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		Requester: a.req, ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 	})
 }
 
@@ -662,7 +667,7 @@ func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
 func (e *Engine) sendAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: n, Dst: msg.AckTo, Block: msg.Block,
-		ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		Requester: msg.Requester, ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 	})
 }
 

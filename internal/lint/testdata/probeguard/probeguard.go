@@ -69,3 +69,28 @@ func goodNested(m *machine) {
 		}
 	}
 }
+
+// The sink emit pattern from the attribution collector wiring: the
+// send returns the probe-assigned message id, which later feeds the
+// matching deliver. Both calls are probe methods and need the guard
+// whether or not the id result is used.
+func badSinkSend(m *machine) {
+	id := m.probe.MsgSend(m.now, "Inv", 0, 1, 9, 2, true) // want `without a m.probe != nil guard`
+	_ = id
+}
+
+func badSinkDeliver(m *machine, id int64) {
+	if m.probe == nil {
+		_ = m.now
+	}
+	m.probe.MsgDeliver(m.now, id, "Inv", 0, 1, 9, true) // want `without a m.probe != nil guard`
+}
+
+func goodSinkSendDeliver(m *machine) {
+	if m.probe == nil {
+		return
+	}
+	id := m.probe.MsgSend(m.now, "Inv", 0, 1, 9, 2, true)
+	m.probe.MsgDeliver(m.now+1, id, "Inv", 0, 1, 9, true)
+	m.probe.HomeStart(m.now+2, 1, 9, "WriteReq", 2)
+}

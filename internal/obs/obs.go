@@ -1,6 +1,8 @@
 // Package obs is the simulator's observability layer: a structured
 // protocol event trace, a time-series sampler over the statistics
-// counters, and a stall watchdog for protocol-deadlock diagnosis.
+// counters, a stall watchdog for protocol-deadlock diagnosis, and a
+// sink fan-out for in-process consumers of the event stream (latency
+// attribution, live telemetry).
 //
 // The layer is designed around one invariant: when disabled it costs
 // nothing on the hot path. The machine holds a single *Probe pointer
@@ -15,13 +17,48 @@
 // off.
 package obs
 
+// Sink consumes the structured event stream in capture order without
+// buffering it: each Event is handed over as it happens. Sinks run on
+// the simulation goroutine and must never block or schedule simulated
+// events. The Trace is the buffering special case (kept as a concrete
+// field so existing exporters keep working); everything else — latency
+// attribution, live counters — attaches here.
+type Sink interface {
+	Event(e Event)
+}
+
 // Probe bundles the enabled observability components. Any field may be
 // nil; a Probe with all components nil is valid but pointless — leave
 // the machine's probe pointer nil instead.
+//
+// The Probe owns message-ID assignment and per-block invalidation-wave
+// numbering so that every attached consumer (Trace and Sinks alike)
+// sees identically-tagged events.
 type Probe struct {
 	Trace    *Trace
 	Sampler  *Sampler
 	Watchdog *Watchdog
+	// Sinks receive every structured event the Trace would record.
+	Sinks []Sink
+	// Gauge, when set, is fed live execution counters from the engine
+	// tick (cycle, events executed, queue depth) for telemetry scrapes.
+	Gauge *Gauge
+
+	nextID int64
+	waves  map[uint64]int
+}
+
+// active reports whether any consumer wants structured events.
+func (p *Probe) active() bool { return p.Trace != nil || len(p.Sinks) > 0 }
+
+// emit hands an event to the trace and every sink.
+func (p *Probe) emit(e Event) {
+	if p.Trace != nil {
+		p.Trace.add(e)
+	}
+	for _, s := range p.Sinks {
+		s.Event(e)
+	}
 }
 
 // Tick is called by the simulation kernel once per fired event, with
@@ -37,27 +74,37 @@ func (p *Probe) Tick(now uint64) {
 }
 
 // MsgSend records a coherence message entering the network and returns
-// an identifier the matching MsgDeliver must echo (0 when no trace is
-// attached). Invalidation-type messages are tagged with the block's
+// an identifier the matching MsgDeliver must echo (0 when no trace or
+// sink is attached). dir marks directory-bound messages (acks and
+// requests addressed to the home's directory logic rather than a
+// cache). Invalidation-type messages are tagged with the block's
 // current write wave and counted toward the watchdog's hot-block
 // table.
-func (p *Probe) MsgSend(now uint64, typ string, src, dst int, block uint64, requester int) int64 {
+func (p *Probe) MsgSend(now uint64, typ string, src, dst int, block uint64, requester int, dir bool) int64 {
 	if p.Watchdog != nil && (typ == "Inv" || typ == "Update" || typ == "ReplaceInv") {
 		p.Watchdog.NoteInv(block)
 	}
-	if p.Trace == nil {
+	if !p.active() {
 		return 0
+	}
+	p.nextID++
+	e := Event{
+		At: now, Kind: KindSend, Type: typ, Src: src, Dst: dst,
+		Block: block, Req: requester, ID: p.nextID, Dir: dir,
 	}
 	// Only gate-serialized wave members carry a wave tag; Replace_INV
 	// teardowns are replacement-driven and orthogonal to write waves.
-	wave := typ == "Inv" || typ == "Update"
-	return p.Trace.addSend(now, typ, src, dst, block, requester, wave)
+	if typ == "Inv" || typ == "Update" {
+		e.Wave = p.waves[block]
+	}
+	p.emit(e)
+	return p.nextID
 }
 
 // MsgDeliver records the arrival of the message identified by id.
-func (p *Probe) MsgDeliver(now uint64, id int64, typ string, src, dst int, block uint64) {
-	if p.Trace != nil {
-		p.Trace.add(Event{At: now, Kind: KindDeliver, Type: typ, Src: src, Dst: dst, Block: block, ID: id})
+func (p *Probe) MsgDeliver(now uint64, id int64, typ string, src, dst int, block uint64, dir bool) {
+	if p.active() {
+		p.emit(Event{At: now, Kind: KindDeliver, Type: typ, Src: src, Dst: dst, Block: block, ID: id, Dir: dir})
 	}
 }
 
@@ -73,16 +120,16 @@ func (p *Probe) NetSend(start, arrive, unloaded uint64) {
 
 // TxnStart records a processor miss transaction beginning at a node.
 func (p *Probe) TxnStart(now uint64, node int, block uint64, write bool) {
-	if p.Trace != nil {
-		p.Trace.add(Event{At: now, Kind: KindTxnStart, Src: node, Dst: node, Block: block, Write: write})
+	if p.active() {
+		p.emit(Event{At: now, Kind: KindTxnStart, Src: node, Dst: node, Block: block, Write: write})
 	}
 }
 
 // TxnEnd records a miss transaction completing. It counts as forward
 // progress for the watchdog.
 func (p *Probe) TxnEnd(now uint64, node int, block uint64, write bool) {
-	if p.Trace != nil {
-		p.Trace.add(Event{At: now, Kind: KindTxnEnd, Src: node, Dst: node, Block: block, Write: write})
+	if p.active() {
+		p.emit(Event{At: now, Kind: KindTxnEnd, Src: node, Dst: node, Block: block, Write: write})
 	}
 	if p.Watchdog != nil {
 		p.Watchdog.Progress(now)
@@ -99,8 +146,8 @@ func (p *Probe) Progress(now uint64) {
 
 // CacheState records a cache-line state transition at a node.
 func (p *Probe) CacheState(now uint64, node int, block uint64, from, to string) {
-	if p.Trace != nil {
-		p.Trace.add(Event{At: now, Kind: KindCacheState, Src: node, Dst: node, Block: block, Label: from + "->" + to})
+	if p.active() {
+		p.emit(Event{At: now, Kind: KindCacheState, Src: node, Dst: node, Block: block, Label: from + "->" + to})
 	}
 }
 
@@ -108,15 +155,15 @@ func (p *Probe) CacheState(now uint64, node int, block uint64, from, to string) 
 // label is protocol-specific ("uncached->shared", "merge l2", ...);
 // callers must only build it when tracing is enabled.
 func (p *Probe) DirState(now uint64, home int, block uint64, label string) {
-	if p.Trace != nil {
-		p.Trace.add(Event{At: now, Kind: KindDirState, Src: home, Dst: home, Block: block, Label: label})
+	if p.active() {
+		p.emit(Event{At: now, Kind: KindDirState, Src: home, Dst: home, Block: block, Label: label})
 	}
 }
 
 // GateWait records a gated request queuing behind a busy home gate.
 func (p *Probe) GateWait(now uint64, home int, block uint64, typ string) {
-	if p.Trace != nil {
-		p.Trace.add(Event{At: now, Kind: KindGateWait, Type: typ, Src: home, Dst: home, Block: block})
+	if p.active() {
+		p.emit(Event{At: now, Kind: KindGateWait, Type: typ, Src: home, Dst: home, Block: block})
 	}
 }
 
@@ -124,11 +171,14 @@ func (p *Probe) GateWait(now uint64, home int, block uint64, typ string) {
 // gated write starting is the serialization point that opens a new
 // invalidation wave on the block.
 func (p *Probe) HomeStart(now uint64, home int, block uint64, typ string, requester int) {
-	if p.Trace != nil {
+	if p.active() {
 		if typ == "WriteReq" {
-			p.Trace.bumpWave(block)
+			if p.waves == nil {
+				p.waves = make(map[uint64]int)
+			}
+			p.waves[block]++
 		}
-		p.Trace.add(Event{At: now, Kind: KindHomeStart, Type: typ, Src: home, Dst: home, Block: block, Req: requester})
+		p.emit(Event{At: now, Kind: KindHomeStart, Type: typ, Src: home, Dst: home, Block: block, Req: requester})
 	}
 }
 

@@ -59,6 +59,9 @@ type Event struct {
 	// belongs to (serialized by the home gate; see Probe.HomeStart).
 	Wave  int  `json:"wave,omitempty"`
 	Write bool `json:"write,omitempty"`
+	// Dir marks directory-bound messages: acks and requests addressed
+	// to the home's directory logic rather than to a cache.
+	Dir bool `json:"dir,omitempty"`
 }
 
 // MarshalJSON emits the kind as its string name.
@@ -71,16 +74,16 @@ func (e Event) MarshalJSON() ([]byte, error) {
 }
 
 // Trace accumulates protocol events in order. It is not safe for
-// concurrent use; the simulation kernel is single-threaded.
+// concurrent use; the simulation kernel is single-threaded. Message
+// IDs and invalidation-wave numbers are assigned by the owning Probe,
+// so a Trace and any attached Sinks see identically-tagged events.
 type Trace struct {
 	events []Event
-	nextID int64
-	waves  map[uint64]int
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace {
-	return &Trace{waves: make(map[uint64]int)}
+	return &Trace{}
 }
 
 // Events returns the recorded events in capture order. The slice is
@@ -92,20 +95,10 @@ func (t *Trace) Len() int { return len(t.events) }
 
 func (t *Trace) add(e Event) { t.events = append(t.events, e) }
 
-func (t *Trace) bumpWave(block uint64) { t.waves[block]++ }
-
-func (t *Trace) addSend(now uint64, typ string, src, dst int, block uint64, requester int, wave bool) int64 {
-	t.nextID++
-	e := Event{
-		At: now, Kind: KindSend, Type: typ, Src: src, Dst: dst,
-		Block: block, Req: requester, ID: t.nextID,
-	}
-	if wave {
-		e.Wave = t.waves[block]
-	}
-	t.add(e)
-	return t.nextID
-}
+// Event appends e, satisfying the Sink interface; a Trace can be used
+// either as the Probe's dedicated Trace field or as one sink among
+// several.
+func (t *Trace) Event(e Event) { t.add(e) }
 
 // WriteJSONL writes one JSON object per event, newline-delimited.
 func (t *Trace) WriteJSONL(w io.Writer) error {
@@ -341,8 +334,8 @@ func HotBlocks(events []Event, n int) []BlockCount {
 
 // BlockCount pairs a block with an event count.
 type BlockCount struct {
-	Block uint64
-	Count uint64
+	Block uint64 `json:"block"`
+	Count uint64 `json:"count"`
 }
 
 func topBlocks(counts map[uint64]uint64, n int) []BlockCount {

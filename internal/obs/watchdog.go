@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Watchdog detects simulations that have stopped making progress and
@@ -32,6 +34,10 @@ type Watchdog struct {
 	Dump func(w io.Writer)
 	// TopK bounds the hottest-blocks table (default 10).
 	TopK int
+	// JSON switches the report from the human-readable text form to a
+	// single machine-readable JSON object per firing (see Report), for
+	// CI gates that parse watchdog output.
+	JSON bool
 
 	lastProgress uint64
 	fired        bool
@@ -72,7 +78,7 @@ func (w *Watchdog) Check(now uint64) {
 		return
 	}
 	w.fired = true
-	w.report(fmt.Sprintf("no processor retired an operation for %d cycles (last progress at %d, now %d)",
+	w.report("stall", now, fmt.Sprintf("no processor retired an operation for %d cycles (last progress at %d, now %d)",
 		now-w.lastProgress, w.lastProgress, now))
 }
 
@@ -82,20 +88,46 @@ func (w *Watchdog) FireDrain(now uint64, reason string) {
 		return
 	}
 	w.drained = true
-	w.report(fmt.Sprintf("event queue drained at cycle %d with outstanding work: %s", now, reason))
+	w.report("drain", now, fmt.Sprintf("event queue drained at cycle %d with outstanding work: %s", now, reason))
 }
 
-func (w *Watchdog) report(headline string) {
+// Report is the machine-readable form of one watchdog firing, emitted
+// as a single JSON line when the JSON field is set. CI jobs grep the
+// output for `"kind":"stall"` / `"kind":"drain"` or parse the whole
+// object; the free-form machine dump is captured into MachineDump so
+// the JSON stays one line per firing.
+type Report struct {
+	Kind         string       `json:"kind"` // "stall" or "drain"
+	Headline     string       `json:"headline"`
+	Now          uint64       `json:"now"`
+	LastProgress uint64       `json:"last_progress"`
+	HotBlocks    []BlockCount `json:"hot_blocks,omitempty"`
+	MachineDump  string       `json:"machine_dump,omitempty"`
+}
+
+func (w *Watchdog) report(kind string, now uint64, headline string) {
 	out := w.Out
 	if out == nil {
 		return
 	}
-	fmt.Fprintf(out, "\n=== watchdog: %s ===\n", headline)
 	topK := w.TopK
 	if topK <= 0 {
 		topK = 10
 	}
 	hot := topBlocks(w.invCount, topK)
+	if w.JSON {
+		r := Report{Kind: kind, Headline: headline, Now: now, LastProgress: w.lastProgress, HotBlocks: hot}
+		if w.Dump != nil {
+			var sb strings.Builder
+			w.Dump(&sb)
+			r.MachineDump = sb.String()
+		}
+		if b, err := json.Marshal(r); err == nil {
+			fmt.Fprintf(out, "%s\n", b)
+		}
+		return
+	}
+	fmt.Fprintf(out, "\n=== watchdog: %s ===\n", headline)
 	if len(hot) > 0 {
 		fmt.Fprintf(out, "hottest blocks by invalidation count:\n")
 		for _, h := range hot {

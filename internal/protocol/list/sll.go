@@ -297,7 +297,7 @@ func (e *SLL) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 func (e *SLL) ack(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: n, Dst: msg.AckTo, Block: msg.Block,
-		ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		Requester: msg.Requester, ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 	})
 }
 

@@ -74,6 +74,9 @@ type agg struct {
 	left  int
 	to    coherent.NodeID
 	toDir bool
+	// req is the writer whose wave this aggregation belongs to, carried
+	// onto the aggregated ack for latency attribution.
+	req coherent.NodeID
 }
 
 // Engine is the STP engine for one machine.
@@ -402,6 +405,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 	a.armed = true
 	a.to = msg.AckTo
 	a.toDir = msg.AckDir
+	a.req = msg.Requester
 	var fanout []coherent.NodeID
 	if ln := node.Cache.Lookup(msg.Block); ln != nil && ln.State != cache.Invalid {
 		fanout = append(fanout, liveChildren(ln)...)
@@ -450,14 +454,14 @@ func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
 	delete(e.aggs, key)
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: key.n, Dst: a.to, Block: key.b,
-		ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		Requester: a.req, ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 	})
 }
 
 func (e *Engine) sendAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: n, Dst: msg.AckTo, Block: msg.Block,
-		ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		Requester: msg.Requester, ToDir: msg.AckDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 	})
 }
 

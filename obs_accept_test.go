@@ -178,12 +178,16 @@ func TestChromeTraceInvFanoutDepth(t *testing.T) {
 // output cannot change. The comparison goes through the same format
 // string cmd/sweep prints, making "CSV row identical" literal.
 func TestProbesDoNotPerturbResults(t *testing.T) {
-	var rows [2]string
-	var cycles [2]uint64
-	for i, oc := range []*ObsConfig{
+	configs := []*ObsConfig{
 		nil,
 		{Trace: true, SampleEvery: 5000, StallCycles: 1 << 40, WatchdogOut: &bytes.Buffer{}},
-	} {
+		{Attrib: true, Gauge: &obs.Gauge{}},
+		{Trace: true, SampleEvery: 5000, StallCycles: 1 << 40, WatchdogOut: &bytes.Buffer{},
+			Attrib: true, Gauge: &obs.Gauge{}},
+	}
+	rows := make([]string, len(configs))
+	cycles := make([]uint64, len(configs))
+	for i, oc := range configs {
 		r, err := RunExperiment(Experiment{
 			App: "floyd", Protocol: "Dir4Tree2", Procs: 8, Obs: oc,
 		})
@@ -196,7 +200,10 @@ func TestProbesDoNotPerturbResults(t *testing.T) {
 			c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
 			c.AvgReadMissLatency(), c.AvgWriteMissLatency())
 		cycles[i] = r.Cycles
-		if oc != nil {
+		if oc == nil {
+			continue
+		}
+		if oc.Trace {
 			if r.Probe == nil || r.Probe.Trace == nil || r.Probe.Sampler == nil || r.Probe.Watchdog == nil {
 				t.Fatal("obs config did not attach all three instruments")
 			}
@@ -207,11 +214,22 @@ func TestProbesDoNotPerturbResults(t *testing.T) {
 				t.Error("sampler captured no intervals")
 			}
 		}
+		if oc.Attrib {
+			if r.Attrib == nil || r.Attrib.Report().Reads.Count == 0 {
+				t.Error("attribution collector attached but folded nothing")
+			}
+			if !oc.Gauge.Done() || oc.Gauge.Cycles() != r.Cycles {
+				t.Errorf("gauge finished at %d cycles (done=%v), run took %d",
+					oc.Gauge.Cycles(), oc.Gauge.Done(), r.Cycles)
+			}
+		}
 	}
-	if rows[0] != rows[1] {
-		t.Errorf("instrumented run changed the sweep CSV row:\n  off: %s\n  on:  %s", rows[0], rows[1])
-	}
-	if cycles[0] != cycles[1] {
-		t.Errorf("instrumented run changed cycle count: %d vs %d", cycles[0], cycles[1])
+	for i := 1; i < len(rows); i++ {
+		if rows[i] != rows[0] {
+			t.Errorf("config %d changed the sweep CSV row:\n  off: %s\n  on:  %s", i, rows[0], rows[i])
+		}
+		if cycles[i] != cycles[0] {
+			t.Errorf("config %d changed cycle count: %d vs %d", i, cycles[0], cycles[i])
+		}
 	}
 }

@@ -44,6 +44,15 @@ func RunExperiments(ctx context.Context, exps []Experiment, parallelism int) []R
 // order, which is nondeterministic — use them for progress display,
 // not for anything the results depend on.
 func RunExperimentsProgress(ctx context.Context, exps []Experiment, parallelism int, onDone func(i int, r ResultOrErr)) []ResultOrErr {
+	return RunExperimentsLive(ctx, exps, parallelism, nil, onDone)
+}
+
+// RunExperimentsLive is RunExperimentsProgress with an additional
+// dispatch callback: onStart (when non-nil) runs as each experiment is
+// picked up by a worker, before it simulates. Like onDone, callbacks
+// are serialized under one mutex and run in nondeterministic dispatch
+// order — use them for telemetry, not for anything results depend on.
+func RunExperimentsLive(ctx context.Context, exps []Experiment, parallelism int, onStart func(i int), onDone func(i int, r ResultOrErr)) []ResultOrErr {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -65,6 +74,11 @@ func RunExperimentsProgress(ctx context.Context, exps []Experiment, parallelism 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if onStart != nil {
+					mu.Lock()
+					onStart(i)
+					mu.Unlock()
+				}
 				if err := ctx.Err(); err != nil {
 					out[i].Err = err
 				} else {

@@ -1,0 +1,350 @@
+package dircc
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dircc/internal/obs"
+)
+
+// SweepMonitor publishes live telemetry for a running experiment grid:
+// a Prometheus text endpoint, a JSON progress endpoint, an expvar
+// mirror, and a self-contained HTML dashboard. It is fed from the
+// runner's onStart/onDone callbacks and from per-experiment obs.Gauge
+// values that the simulation goroutines update; all host-side state is
+// guarded by one mutex, and gauges are atomic, so scrapes never touch
+// simulation internals.
+//
+// Telemetry is observation only: the wall-clock timestamps below feed
+// rate displays and never influence simulated results.
+type SweepMonitor struct {
+	mu      sync.Mutex
+	exps    []Experiment
+	gauges  []*obs.Gauge
+	status  []expStatus
+	started []time.Time
+	elapsed []time.Duration
+	cycles  []uint64 // final simulated cycles of completed runs
+	workers int
+	begun   time.Time
+
+	completed int
+	failed    int
+	running   int
+}
+
+type expStatus uint8
+
+const (
+	statusPending expStatus = iota
+	statusRunning
+	statusDone
+	statusFailed
+)
+
+func (s expStatus) String() string {
+	switch s {
+	case statusRunning:
+		return "running"
+	case statusDone:
+		return "done"
+	case statusFailed:
+		return "failed"
+	default:
+		return "pending"
+	}
+}
+
+// NewSweepMonitor returns a monitor for the given grid running on
+// `workers` workers. Pass each experiment's gauge via Gauge before the
+// grid starts.
+func NewSweepMonitor(exps []Experiment, workers int) *SweepMonitor {
+	sm := &SweepMonitor{
+		exps:    exps,
+		gauges:  make([]*obs.Gauge, len(exps)),
+		status:  make([]expStatus, len(exps)),
+		started: make([]time.Time, len(exps)),
+		elapsed: make([]time.Duration, len(exps)),
+		cycles:  make([]uint64, len(exps)),
+		workers: workers,
+		begun:   time.Now(), //dirccvet:allow simdet host-side telemetry timestamp; nothing deterministic depends on it
+	}
+	sm.publishExpvar()
+	return sm
+}
+
+// Gauge returns experiment i's live gauge, allocating it on first use.
+// Wire it into the experiment's ObsConfig before running the grid.
+func (sm *SweepMonitor) Gauge(i int) *obs.Gauge {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.gauges[i] == nil {
+		sm.gauges[i] = &obs.Gauge{}
+	}
+	return sm.gauges[i]
+}
+
+// Start records experiment i being dispatched to a worker. Wire it to
+// RunExperimentsLive's onStart.
+func (sm *SweepMonitor) Start(i int) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.status[i] = statusRunning
+	sm.started[i] = time.Now() //dirccvet:allow simdet host-side telemetry timestamp
+	sm.running++
+}
+
+// Done records experiment i's outcome. Wire it to the runner's onDone.
+func (sm *SweepMonitor) Done(i int, r ResultOrErr) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.status[i] == statusRunning {
+		sm.running--
+	}
+	sm.elapsed[i] = r.Elapsed
+	if r.Err != nil {
+		sm.status[i] = statusFailed
+		sm.failed++
+		return
+	}
+	sm.status[i] = statusDone
+	sm.completed++
+	if r.Result != nil {
+		sm.cycles[i] = r.Result.Cycles
+	}
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+// ExpSnapshot is one experiment's live state in the progress JSON.
+type ExpSnapshot struct {
+	App        string  `json:"app"`
+	Scheme     string  `json:"scheme"`
+	Procs      int     `json:"procs"`
+	Topology   string  `json:"topology"`
+	Status     string  `json:"status"`
+	Cycles     uint64  `json:"cycles"`
+	Events     uint64  `json:"events"`
+	QueueDepth uint64  `json:"queue_depth"`
+	CycleRate  float64 `json:"cycle_rate"` // simulated cycles per wall second
+	ElapsedSec float64 `json:"elapsed_seconds"`
+}
+
+// Snapshot is the progress JSON document.
+type Snapshot struct {
+	Total       int           `json:"total"`
+	Completed   int           `json:"completed"`
+	Failed      int           `json:"failed"`
+	Running     int           `json:"running"`
+	Workers     int           `json:"workers"`
+	Utilization float64       `json:"utilization"`
+	ElapsedSec  float64       `json:"elapsed_seconds"`
+	Experiments []ExpSnapshot `json:"experiments"`
+}
+
+func (sm *SweepMonitor) snapshot() Snapshot {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	now := time.Now() //dirccvet:allow simdet host-side telemetry timestamp
+	s := Snapshot{
+		Total:      len(sm.exps),
+		Completed:  sm.completed,
+		Failed:     sm.failed,
+		Running:    sm.running,
+		Workers:    sm.workers,
+		ElapsedSec: now.Sub(sm.begun).Seconds(),
+	}
+	if sm.workers > 0 {
+		s.Utilization = float64(sm.running) / float64(sm.workers)
+	}
+	for i, exp := range sm.exps {
+		topo := exp.Topology
+		if topo == "" {
+			topo = "hypercube"
+		}
+		es := ExpSnapshot{
+			App: exp.App, Scheme: exp.Protocol, Procs: exp.Procs, Topology: topo,
+			Status: sm.status[i].String(),
+		}
+		switch sm.status[i] {
+		case statusRunning:
+			if g := sm.gauges[i]; g != nil {
+				es.Cycles = g.Cycles()
+				es.Events = g.Events()
+				es.QueueDepth = g.QueueDepth()
+			}
+			es.ElapsedSec = now.Sub(sm.started[i]).Seconds()
+			if es.ElapsedSec > 0 {
+				es.CycleRate = float64(es.Cycles) / es.ElapsedSec
+			}
+		case statusDone, statusFailed:
+			es.Cycles = sm.cycles[i]
+			es.ElapsedSec = sm.elapsed[i].Seconds()
+			if es.ElapsedSec > 0 {
+				es.CycleRate = float64(es.Cycles) / es.ElapsedSec
+			}
+		}
+		s.Experiments = append(s.Experiments, es)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// HTTP
+// ---------------------------------------------------------------------
+
+// Handler returns the telemetry HTTP handler:
+//
+//	/          self-contained HTML dashboard (polls /progress)
+//	/metrics   Prometheus text exposition
+//	/progress  live grid state as JSON
+//	/debug/vars expvar (includes the dircc_sweep mirror)
+func (sm *SweepMonitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, dashboardHTML)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		sm.writeMetrics(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(sm.snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// writeMetrics renders the Prometheus text exposition format: grid
+// gauges plus one labeled series per in-flight experiment.
+func (sm *SweepMonitor) writeMetrics(w interface{ Write([]byte) (int, error) }) {
+	s := sm.snapshot()
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("dircc_sweep_experiments_total", "Experiments in the grid.", float64(s.Total))
+	gauge("dircc_sweep_experiments_completed", "Experiments finished successfully.", float64(s.Completed))
+	gauge("dircc_sweep_experiments_failed", "Experiments that returned an error.", float64(s.Failed))
+	gauge("dircc_sweep_experiments_running", "Experiments currently simulating.", float64(s.Running))
+	gauge("dircc_sweep_workers", "Worker pool size.", float64(s.Workers))
+	gauge("dircc_sweep_worker_utilization", "Fraction of workers busy.", s.Utilization)
+	gauge("dircc_sweep_elapsed_seconds", "Wall time since the grid started.", s.ElapsedSec)
+
+	perExp := []struct {
+		name, help string
+		value      func(e ExpSnapshot) float64
+	}{
+		{"dircc_experiment_cycles", "Simulated cycles executed so far.", func(e ExpSnapshot) float64 { return float64(e.Cycles) }},
+		{"dircc_experiment_events", "Kernel events executed so far.", func(e ExpSnapshot) float64 { return float64(e.Events) }},
+		{"dircc_experiment_queue_depth", "Pending events in the kernel queue.", func(e ExpSnapshot) float64 { return float64(e.QueueDepth) }},
+		{"dircc_experiment_cycle_rate", "Simulated cycles per wall second.", func(e ExpSnapshot) float64 { return e.CycleRate }},
+	}
+	for _, m := range perExp {
+		header := false
+		for _, e := range s.Experiments {
+			if e.Status != "running" {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)
+				header = true
+			}
+			fmt.Fprintf(&b, "%s{app=%q,scheme=%q,procs=\"%d\",topology=%q} %g\n",
+				m.name, e.App, e.Scheme, e.Procs, e.Topology, m.value(e))
+		}
+	}
+	w.Write([]byte(b.String()))
+}
+
+// Serve starts an HTTP server for the monitor on addr (e.g. ":8080")
+// in a background goroutine and returns immediately. Errors (an
+// occupied port, say) are reported through errOut once.
+func (sm *SweepMonitor) Serve(addr string, errOut func(error)) {
+	srv := &http.Server{Addr: addr, Handler: sm.Handler()}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errOut != nil {
+			errOut(err)
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// expvar mirror
+// ---------------------------------------------------------------------
+
+// expvar.Publish panics on duplicate names, so the package registers a
+// single forwarding Func once and repoints it at the newest monitor
+// (tests construct several monitors per process).
+var (
+	expvarOnce    sync.Once
+	activeMonitor atomic.Pointer[SweepMonitor]
+)
+
+func (sm *SweepMonitor) publishExpvar() {
+	activeMonitor.Store(sm)
+	expvarOnce.Do(func() {
+		expvar.Publish("dircc_sweep", expvar.Func(func() any {
+			if m := activeMonitor.Load(); m != nil {
+				return m.snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>dircc sweep</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem; background: #11151a; color: #d8dee6; }
+h1 { font-size: 1.2rem; } small { color: #7a8694; }
+#bar { height: 12px; background: #232b33; border-radius: 6px; overflow: hidden; margin: .8rem 0; }
+#fill { height: 100%; width: 0; background: #4aa96c; transition: width .4s; }
+#fail { height: 100%; width: 0; background: #c45b5b; float: right; }
+table { border-collapse: collapse; width: 100%; margin-top: 1rem; font-size: .85rem; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid #232b33; }
+tr.running td { color: #8fd3ff; } tr.failed td { color: #e08888; } tr.pending td { color: #5a6572; }
+</style></head><body>
+<h1>dircc sweep <small id="summary">connecting…</small></h1>
+<div id="bar"><div id="fill"></div><div id="fail"></div></div>
+<table id="grid"><thead><tr>
+<th>app</th><th>scheme</th><th>procs</th><th>topology</th><th>status</th>
+<th>cycles</th><th>events</th><th>queue</th><th>cycles/s</th><th>wall s</th>
+</tr></thead><tbody></tbody></table>
+<script>
+async function tick() {
+  try {
+    const r = await fetch('/progress'); const s = await r.json();
+    document.getElementById('summary').textContent =
+      s.completed + '+' + s.failed + '/' + s.total + ' · ' + s.running + ' running · ' +
+      (100*s.utilization).toFixed(0) + '% of ' + s.workers + ' workers · ' + s.elapsed_seconds.toFixed(1) + 's';
+    document.getElementById('fill').style.width = (100*s.completed/s.total) + '%';
+    document.getElementById('fail').style.width = (100*s.failed/s.total) + '%';
+    const tb = document.querySelector('#grid tbody'); tb.innerHTML = '';
+    for (const e of s.experiments) {
+      const tr = document.createElement('tr'); tr.className = e.status;
+      const cells = [e.app, e.scheme, e.procs, e.topology, e.status,
+        e.cycles.toLocaleString(), e.events.toLocaleString(), e.queue_depth,
+        e.cycle_rate ? e.cycle_rate.toExponential(2) : '', e.elapsed_seconds ? e.elapsed_seconds.toFixed(2) : ''];
+      for (const c of cells) { const td = document.createElement('td'); td.textContent = c; tr.appendChild(td); }
+      tb.appendChild(tr);
+    }
+  } catch (err) { document.getElementById('summary').textContent = 'poll failed: ' + err; }
+}
+tick(); setInterval(tick, 1000);
+</script></body></html>
+`

@@ -1,0 +1,208 @@
+package dircc
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePromText validates Prometheus text-exposition output the way a
+// scraper would: every sample line is `name{labels} value` with a
+// parsable float, preceded by HELP/TYPE comments for its family.
+// Unlabeled samples are returned by name.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	typed := map[string]bool{}
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 || f[1] != "gauge" {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		name := series
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = series[:br]
+			for _, pair := range strings.Split(series[br+1:len(series)-1], ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || !strings.HasPrefix(pair[eq+1:], `"`) || !strings.HasSuffix(pair, `"`) {
+					t.Fatalf("bad label %q in %q", pair, line)
+				}
+			}
+		} else {
+			out[name] = val
+		}
+		if !typed[name] {
+			t.Fatalf("sample %q has no preceding TYPE comment", name)
+		}
+	}
+	return out
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestSweepMonitorLive drives a real experiment grid through the
+// monitor and scrapes it while the grid runs: the Prometheus endpoint
+// must parse, the progress JSON must track the grid, and the final
+// state must account for every experiment.
+func TestSweepMonitorLive(t *testing.T) {
+	exps := []Experiment{
+		{App: "floyd", Protocol: "fm", Procs: 8},
+		{App: "floyd", Protocol: "T4", Procs: 8},
+		{App: "fft", Protocol: "fm", Procs: 8},
+		{App: "fft", Protocol: "sci", Procs: 8},
+	}
+	mon := NewSweepMonitor(exps, 2)
+	for i := range exps {
+		exps[i].Obs = &ObsConfig{Gauge: mon.Gauge(i)}
+	}
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	// Scrape from inside the dispatch callback so at least one scrape
+	// provably observes the grid mid-flight.
+	var midMetrics, midProgress string
+	onStart := func(i int) {
+		mon.Start(i)
+		if midMetrics == "" {
+			midMetrics = httpGet(t, srv.URL+"/metrics")
+			midProgress = httpGet(t, srv.URL+"/progress")
+		}
+	}
+	results := RunExperimentsLive(context.Background(), exps, 2, onStart, mon.Done)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("experiment %d: %v", i, r.Err)
+		}
+	}
+
+	// The mid-run Prometheus scrape parses and reflects the grid shape.
+	gauges := parsePromText(t, midMetrics)
+	if gauges["dircc_sweep_experiments_total"] != 4 {
+		t.Errorf("mid-run experiments_total = %v, want 4", gauges["dircc_sweep_experiments_total"])
+	}
+	if gauges["dircc_sweep_workers"] != 2 {
+		t.Errorf("mid-run workers = %v, want 2", gauges["dircc_sweep_workers"])
+	}
+	if gauges["dircc_sweep_experiments_running"] < 1 {
+		t.Errorf("mid-run running = %v, want >= 1", gauges["dircc_sweep_experiments_running"])
+	}
+	var mid Snapshot
+	if err := json.Unmarshal([]byte(midProgress), &mid); err != nil {
+		t.Fatalf("mid-run progress JSON: %v", err)
+	}
+	if mid.Total != 4 || mid.Running < 1 || len(mid.Experiments) != 4 {
+		t.Errorf("mid-run snapshot: total=%d running=%d exps=%d", mid.Total, mid.Running, len(mid.Experiments))
+	}
+
+	// Final state: everything completed, per-experiment cycles recorded.
+	var fin Snapshot
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/progress")), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin.Completed != 4 || fin.Failed != 0 || fin.Running != 0 {
+		t.Errorf("final snapshot: completed=%d failed=%d running=%d", fin.Completed, fin.Failed, fin.Running)
+	}
+	for i, e := range fin.Experiments {
+		if e.Status != "done" || e.Cycles == 0 {
+			t.Errorf("experiment %d: status=%s cycles=%d", i, e.Status, e.Cycles)
+		}
+	}
+	final := parsePromText(t, httpGet(t, srv.URL+"/metrics"))
+	if final["dircc_sweep_experiments_completed"] != 4 {
+		t.Errorf("final experiments_completed = %v, want 4", final["dircc_sweep_experiments_completed"])
+	}
+
+	// The dashboard is self-contained HTML that polls /progress.
+	dash := httpGet(t, srv.URL+"/")
+	if !strings.Contains(dash, "<html") || !strings.Contains(dash, "/progress") {
+		t.Error("dashboard HTML missing or not wired to /progress")
+	}
+	// expvar mirrors the newest monitor.
+	vars := httpGet(t, srv.URL+"/debug/vars")
+	if !strings.Contains(vars, "dircc_sweep") {
+		t.Error("expvar missing the dircc_sweep mirror")
+	}
+}
+
+// TestGaugeLiveDuringRun checks that a running experiment's gauge is
+// readable concurrently and lands on the final simulated state.
+func TestGaugeLiveDuringRun(t *testing.T) {
+	exps := []Experiment{{App: "floyd", Protocol: "fm", Procs: 8}}
+	mon := NewSweepMonitor(exps, 1)
+	g := mon.Gauge(0)
+	exps[0].Obs = &ObsConfig{Gauge: g}
+
+	results := RunExperiments(context.Background(), exps, 1)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if !g.Done() {
+		t.Error("gauge not marked done after quiesce")
+	}
+	if g.Cycles() != results[0].Result.Cycles {
+		t.Errorf("gauge cycles = %d, result cycles = %d", g.Cycles(), results[0].Result.Cycles)
+	}
+	if g.Events() == 0 {
+		t.Error("gauge recorded no events")
+	}
+}
+
+// TestMonitorFailureAccounting checks failed experiments land in the
+// failed column, not completed.
+func TestMonitorFailureAccounting(t *testing.T) {
+	exps := []Experiment{
+		{App: "floyd", Protocol: "fm", Procs: 8},
+		{App: "nosuchapp", Protocol: "fm", Procs: 8},
+	}
+	mon := NewSweepMonitor(exps, 1)
+	RunExperimentsLive(context.Background(), exps, 1, mon.Start, mon.Done)
+	var buf strings.Builder
+	mon.writeMetrics(&buf)
+	gauges := parsePromText(t, buf.String())
+	if gauges["dircc_sweep_experiments_completed"] != 1 || gauges["dircc_sweep_experiments_failed"] != 1 {
+		t.Errorf("completed=%v failed=%v, want 1/1",
+			gauges["dircc_sweep_experiments_completed"], gauges["dircc_sweep_experiments_failed"])
+	}
+}
