@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench perf sweep cover lint check clean
+.PHONY: all build test tier1 vet race bench perf sweep cover lint check smoke fuzz stress clean
 
 all: tier1
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test and subtest execution order so hidden
+# inter-test state dependencies fail loudly instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # tier1 is the gate every PR must keep green.
 tier1: build test
@@ -27,9 +29,30 @@ lint: vet
 
 # check runs the exhaustive model checker over every protocol engine
 # (internal/check: all interleavings of the tiny-config grid, plus the
-# mutation self-test that proves the checker catches a seeded bug).
-check:
+# mutation self-test that proves the checker catches a seeded bug) and
+# the time-boxed differential fuzz smoke tier.
+check: smoke
 	$(GO) test ./internal/check -v -run 'TestExhaustive|TestMutationCaught'
+
+# smoke is the differential fuzzer's CI tier: 200 seed-derived
+# workloads through all six engine families with the full-map oracle,
+# plus the mutant sensitivity test proving the harness catches a
+# seeded replacement bug. Budgeted at under a minute.
+smoke:
+	$(GO) test ./internal/fuzz -run 'TestSmokeDifferential|TestRegressionSeeds|TestFuzzCatchesMutant'
+
+# fuzz explores fresh seeds with the native fuzzing engine. Override
+# FUZZTIME for longer hunts; crashers land in testdata/fuzz/ as new
+# corpus entries.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/fuzz -fuzz FuzzDifferential -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/fuzz -fuzz FuzzDirTree -fuzztime $(FUZZTIME) -run '^$$'
+
+# stress soaks the differential harness from a wall-clock budget,
+# minimizing and persisting witnesses for anything it finds.
+stress:
+	$(GO) run ./cmd/stress -duration 60s -minimize -witness-dir .
 
 # race runs the whole suite — including the parallel-vs-sequential
 # determinism regression TestRunExperimentsDeterministic — under the

@@ -15,12 +15,13 @@
 //
 // -gate exits 1 when any benchmark's ns/op regressed by more than
 // -threshold (default 0.10 = 10%). Benchmarks present on only one side
-// never gate.
+// never gate. Usage errors exit 2.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -28,24 +29,33 @@ import (
 )
 
 func main() {
-	emit := flag.String("emit", "", "write the new (last) input as a canonical snapshot JSON to this file")
-	pr := flag.Int("pr", 0, "PR number to tag the emitted snapshot with")
-	title := flag.String("title", "", "title to tag the emitted snapshot with")
-	gate := flag.Bool("gate", false, "exit 1 when any ns/op regression exceeds -threshold")
-	threshold := flag.Float64("threshold", 0.10, "relative ns/op regression the gate tolerates")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
-	if len(args) < 1 || len(args) > 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <old> [<new>]  (snapshot JSON, raw bench output, or - for stdin)")
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	emit := fs.String("emit", "", "write the new (last) input as a canonical snapshot JSON to this file")
+	pr := fs.Int("pr", 0, "PR number to tag the emitted snapshot with")
+	title := fs.String("title", "", "title to tag the emitted snapshot with")
+	gate := fs.Bool("gate", false, "exit 1 when any ns/op regression exceeds -threshold")
+	threshold := fs.Float64("threshold", 0.10, "relative ns/op regression the gate tolerates")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	snaps := make([]*benchfmt.Snapshot, len(args))
-	for i, path := range args {
+	inputs := fs.Args()
+	if len(inputs) < 1 || len(inputs) > 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] <old> [<new>]  (snapshot JSON, raw bench output, or - for stdin)")
+		return 2
+	}
+
+	snaps := make([]*benchfmt.Snapshot, len(inputs))
+	for i, path := range inputs {
 		s, err := benchfmt.Load(path)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 1
 		}
 		snaps[i] = s
 	}
@@ -58,40 +68,39 @@ func main() {
 		out.Go = runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
 		f, err := os.Create(*emit)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 1
 		}
 		if err := out.WriteJSON(f); err != nil {
 			f.Close()
-			fail(err)
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmarks to %s\n", len(out.Benchmarks), *emit)
+		fmt.Fprintf(stderr, "benchdiff: wrote %d benchmarks to %s\n", len(out.Benchmarks), *emit)
 	}
 
 	if len(snaps) == 1 {
-		benchfmt.WriteTable(os.Stdout, benchfmt.Diff(cur, cur))
-		return
+		benchfmt.WriteTable(stdout, benchfmt.Diff(cur, cur))
+		return 0
 	}
 
 	deltas := benchfmt.Diff(snaps[0], cur)
-	benchfmt.WriteTable(os.Stdout, deltas)
+	benchfmt.WriteTable(stdout, deltas)
 
 	regressed := false
 	for _, d := range deltas {
 		if pct := d.PctNs(); pct > *threshold {
-			fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (threshold %.1f%%)\n",
+			fmt.Fprintf(stderr, "benchdiff: %s regressed %.1f%% (threshold %.1f%%)\n",
 				d.Name, 100*pct, 100**threshold)
 			regressed = true
 		}
 	}
 	if regressed && *gate {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "benchdiff:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dircc/internal/fuzz"
+)
+
+func runStress(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestUsageErrors: every malformed invocation exits 2 with a
+// diagnostic on stderr and runs no simulation.
+func TestUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown-flag":     {"-bogus"},
+		"positional-args":  {"-seed", "1", "extra"},
+		"bad-schemes":      {"-schemes", "nope"},
+		"bad-generator":    {"-gen", "no-such-generator"},
+		"zero-n":           {"-n", "0"},
+		"one-proc":         {"-p", "1"},
+		"negative-procs":   {"-p", "-4"},
+		"unparseable-seed": {"-seed", "abc"},
+	} {
+		code, _, errOut := runStress(t, args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no diagnostic on stderr", name)
+		}
+	}
+}
+
+// TestCleanRuns: healthy engines agree, so the driver exits 0 and
+// reports the workload count.
+func TestCleanRuns(t *testing.T) {
+	for name, args := range map[string][]string{
+		"derived-seed":  {"-seed", "3"},
+		"several-seeds": {"-seed", "1", "-n", "5"},
+		"explicit-gen":  {"-gen", "hotspot", "-p", "4", "-seed", "2"},
+		"tree-set":      {"-schemes", "tree", "-seed", "9"},
+	} {
+		code, out, errOut := runStress(t, args...)
+		if code != 0 {
+			t.Errorf("%s: exit %d, want 0 (stdout: %s stderr: %s)", name, code, out, errOut)
+		}
+		if !strings.Contains(out, "no divergence") {
+			t.Errorf("%s: missing summary line in %q", name, out)
+		}
+	}
+}
+
+// TestDivergenceReport drives the exit-1 path directly: report must
+// print the divergence, honor -minimize, persist witness artifacts,
+// and return 1.
+func TestDivergenceReport(t *testing.T) {
+	engines := fuzz.AllEngines()
+	d := &fuzz.Divergence{
+		Workload: fuzz.ForSeed(3),
+		Engine:   engines[1].Name, Oracle: engines[0].Name,
+		Kind: fuzz.KindMem, Detail: "synthetic divergence for the report path",
+	}
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	if code := report(&out, &errb, d, engines, true, dir); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "synthetic divergence") {
+		t.Errorf("report output missing the divergence: %q", out.String())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no witness artifacts written: %v", err)
+	}
+	for _, e := range ents {
+		if fi, err := e.Info(); err != nil || fi.Size() == 0 {
+			t.Errorf("witness artifact %s is empty", e.Name())
+		}
+	}
+}
+
+// TestWitnessDirErrors: an unwritable witness directory is a usage
+// error (exit 2), not a silent pass.
+func TestWitnessDirErrors(t *testing.T) {
+	engines := fuzz.AllEngines()
+	d := &fuzz.Divergence{
+		Workload: fuzz.ForSeed(3),
+		Engine:   engines[1].Name, Oracle: engines[0].Name,
+		Kind: fuzz.KindMem, Detail: "synthetic",
+	}
+	var out, errb strings.Builder
+	bad := filepath.Join(t.TempDir(), "does", "not", "exist")
+	if code := report(&out, &errb, d, engines, false, bad); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

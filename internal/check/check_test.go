@@ -17,6 +17,9 @@ func TestExhaustive(t *testing.T) {
 			if entry.Wide && testing.Short() {
 				t.Skip("wide state space; skipped under -short")
 			}
+			if entry.Wide && raceEnabled {
+				t.Skip("wide state space; skipped under -race (single-threaded BFS, narrow grid covers the engines)")
+			}
 			t.Parallel()
 			st, v, err := Run(entry.Config)
 			if err != nil {

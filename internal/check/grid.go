@@ -45,6 +45,73 @@ func progConflict() [][]Op {
 	}
 }
 
+// progStorm: a replacement storm over a read-only chain — two nodes
+// silently replace their copies (one of them re-reading) while others
+// attach. Minimal exhaustive reproduction of a fuzzer-found SCI
+// deadlock: an attach aimed at a dead incarnation was deferred onto
+// that node's new transaction, closing a cycle of deferred attaches.
+func progStorm() [][]Op {
+	return [][]Op{
+		{{Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpReplace, Block: 0}, {Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpReplace, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpRead, Block: 1}},
+	}
+}
+
+// progConflictStorm: the same re-read pressure produced by one-line
+// cache conflicts instead of explicit replacements. Minimal exhaustive
+// reproduction of a fuzzer-found SCI coverage violation: an evicting
+// node whose attacher's Fwd was still in flight spliced with a stale
+// prev pointer, orphaning the successor's copy.
+func progConflictStorm() [][]Op {
+	return [][]Op{
+		{{Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpRead, Block: 1}, {Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpRead, Block: 1}},
+		{{Kind: OpRead, Block: 0}},
+	}
+}
+
+// progDirtyEvict: a writer replaces its exclusive copy while readers
+// race the writeback. Exercises the dirty-evict memory-update window
+// against reads served from home.
+func progDirtyEvict() [][]Op {
+	return [][]Op{
+		{},
+		{{Kind: OpWrite, Block: 0, Value: 50}, {Kind: OpReplace, Block: 0}, {Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpRead, Block: 1}},
+		{{Kind: OpRead, Block: 0}},
+	}
+}
+
+// progPurgeReplace: readers build a sharing structure over a dirty
+// block, one replaces its copy, then the structure is rebuilt —
+// invalidation/purge waves race tombstone routing.
+func progPurgeReplace() [][]Op {
+	return [][]Op{
+		{{Kind: OpWrite, Block: 0, Value: 60}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpReplace, Block: 0}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpRead, Block: 1}},
+		{{Kind: OpRead, Block: 0}},
+	}
+}
+
+// progWriteReread: a write races a reader that silently replaces its
+// copy and immediately re-reads. Minimal exhaustive reproduction of a
+// fuzzer-found STP deadlock: the adopter's Done reached home after the
+// re-read was issued, marking the wrong transaction served and
+// deferring the write's invalidation onto a read queued behind that
+// very write.
+func progWriteReread() [][]Op {
+	return [][]Op{
+		{{Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 1}, {Kind: OpWrite, Block: 0, Value: 70}},
+		{{Kind: OpRead, Block: 0}, {Kind: OpReplace, Block: 0}, {Kind: OpRead, Block: 0}},
+		{{Kind: OpRead, Block: 0}},
+	}
+}
+
 // progWide: every node reads, then the last one writes — the widest
 // sharing set P-1 allows, driving root-slot overflow (limited
 // directories, tree record cases) and the Figure 7 sibling-ack
@@ -99,5 +166,15 @@ func Grid() []GridEntry {
 		{Config: Config{Name: "sll-p4-wide", NewEngine: func() coherent.Engine { return list.NewSLL() }, Procs: 4, Blocks: 1, Program: progWide(4)}, Wide: true},
 		{Config: Config{Name: "sci-p4-wide", NewEngine: func() coherent.Engine { return list.NewSCI() }, Procs: 4, Blocks: 1, Program: progWide(4)}, Wide: true},
 		{Config: Config{Name: "stp-p4-wide", NewEngine: func() coherent.Engine { return stp.New() }, Procs: 4, Blocks: 1, Program: progWide(4)}, Wide: true},
+		// Replacement-race regressions distilled from fuzzer-found
+		// divergences (see the program comments above for the bug each
+		// one originally caught).
+		{Config: Config{Name: "sci-p4-storm", NewEngine: func() coherent.Engine { return list.NewSCI() }, Procs: 4, Blocks: 2, Program: progStorm(), MaxStates: 2_000_000}, Wide: true},
+		{Config: Config{Name: "sci-p4-conflict-storm", NewEngine: func() coherent.Engine { return list.NewSCI() }, Procs: 4, Blocks: 2, Program: progConflictStorm(), MaxStates: 2_000_000}, Wide: true},
+		{Config: Config{Name: "sci-p4-dirty-evict", NewEngine: func() coherent.Engine { return list.NewSCI() }, Procs: 4, Blocks: 2, Program: progDirtyEvict(), MaxStates: 2_000_000}, Wide: true},
+		{Config: Config{Name: "sci-p4-purge-replace", NewEngine: func() coherent.Engine { return list.NewSCI() }, Procs: 4, Blocks: 2, Program: progPurgeReplace(), MaxStates: 2_000_000}, Wide: true},
+		{Config: Config{Name: "stp-p4-dirty-evict", NewEngine: func() coherent.Engine { return stp.New() }, Procs: 4, Blocks: 2, Program: progDirtyEvict(), MaxStates: 2_000_000}, Wide: true},
+		{Config: Config{Name: "stp-p4-write-reread", NewEngine: func() coherent.Engine { return stp.New() }, Procs: 4, Blocks: 2, Program: progWriteReread(), MaxStates: 8_000_000}, Wide: true},
+		{Config: Config{Name: "sci-p4-write-reread", NewEngine: func() coherent.Engine { return list.NewSCI() }, Procs: 4, Blocks: 2, Program: progWriteReread(), MaxStates: 8_000_000}, Wide: true},
 	}
 }

@@ -3,156 +3,39 @@ package check
 import (
 	"fmt"
 
-	"dircc/internal/cache"
 	"dircc/internal/coherent"
 )
 
-// checkInvariants asserts everything that must hold in every drained
-// state:
-//
-//   - the runtime monitor found no data-coherence violation,
-//   - SWMR: an exclusive copy excludes every other copy,
-//   - an exclusive copy agrees with the authoritative memory image
-//     (modulo one write in flight past its serialization point),
-//   - directory coverage: every stable copy is reachable from the
-//     directory's records (closure of CoverageRoots under
-//     CoverageEdges, seeded with everything in-flight),
-//   - structural well-formedness, when the engine has any
-//     (coherent.ShapeChecker).
+// checkInvariants asserts the drained-state invariants (see Invariants
+// in machine.go) with the checker-owned message pool as the in-flight
+// set.
 func (r *replayer) checkInvariants() error {
-	m := r.m
-	if errs := m.Mon.Errors(); len(errs) > 0 {
-		return fmt.Errorf("monitor: %s", errs[0])
-	}
-	ce, _ := m.Protocol().(coherent.CoverageEnumerator)
-	sc, _ := m.Protocol().(coherent.ShapeChecker)
-	for b := coherent.BlockID(0); int(b) < r.cfg.Blocks; b++ {
-		var holders, exclusive []coherent.NodeID
-		for n := range m.Nodes {
-			ln := m.Nodes[n].Cache.Lookup(b)
-			if ln == nil || ln.State == cache.Invalid {
-				continue
-			}
-			holders = append(holders, coherent.NodeID(n))
-			if ln.State == cache.Exclusive {
-				exclusive = append(exclusive, coherent.NodeID(n))
-				cur := m.Store.Value(b)
-				old, inFlight := m.Store.WriteInFlight(b)
-				if ln.Val != cur && !(inFlight && ln.Val == old) {
-					return fmt.Errorf("value: node %d holds block %d exclusive with %d, memory image is %d", n, b, ln.Val, cur)
-				}
-			}
-		}
-		if len(exclusive) > 1 {
-			return fmt.Errorf("swmr: block %d has %d exclusive owners %v", b, len(exclusive), exclusive)
-		}
-		if len(exclusive) == 1 && len(holders) > 1 {
-			return fmt.Errorf("swmr: block %d owned exclusively by node %d alongside copies at %v", b, exclusive[0], holders)
-		}
-		if sc != nil {
-			if err := sc.CheckShape(m, b); err != nil {
-				return err
-			}
-		}
-		if ce != nil {
-			if err := r.checkCoverage(ce, b, holders); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return Invariants(r.m, r.cfg.Blocks, r.poolMsgs())
 }
 
-// checkCoverage requires every stable copy of b to be reachable from
-// the directory's knowledge. The start set is the directory's own
-// records (CoverageRoots) plus every node referenced by in-flight
-// state — undelivered messages, deferred messages, outstanding
-// transactions — because a copy being handed off or torn down is
-// legitimately covered by the message that will reach it. The set is
-// closed under CoverageEdges (tree children, list successors,
-// tombstones). A stable copy outside the closure is a lost copy: no
-// future write wave can invalidate it.
-func (r *replayer) checkCoverage(ce coherent.CoverageEnumerator, b coherent.BlockID, holders []coherent.NodeID) error {
-	m := r.m
-	covered := make(map[coherent.NodeID]bool)
-	var frontier []coherent.NodeID
-	add := func(n coherent.NodeID) {
-		if n < 0 || int(n) >= len(m.Nodes) || covered[n] {
-			return
-		}
-		covered[n] = true
-		frontier = append(frontier, n)
+// poolMsgs exposes the undelivered messages to the invariant core.
+func (r *replayer) poolMsgs() []*coherent.Msg {
+	if len(r.pool) == 0 {
+		return nil
 	}
-	addMsg := func(msg *coherent.Msg) {
-		if msg.Block != b {
-			return
-		}
-		add(msg.Src)
-		add(msg.Dst)
-		add(msg.Requester)
-		add(msg.Aux)
-		if !msg.AckDir {
-			add(msg.AckTo)
-		}
-		for _, p := range msg.Ptrs {
-			add(p)
-		}
+	msgs := make([]*coherent.Msg, len(r.pool))
+	for i, p := range r.pool {
+		msgs[i] = p.msg
 	}
-	for _, n := range ce.CoverageRoots(m, b) {
-		add(n)
-	}
-	for _, p := range r.pool {
-		addMsg(p.msg)
-	}
-	for n := range m.Nodes {
-		if txn := m.Txn(coherent.NodeID(n), b); txn != nil {
-			add(coherent.NodeID(n))
-			for _, d := range txn.Deferred {
-				addMsg(d)
-			}
-		}
-	}
-	for len(frontier) > 0 {
-		n := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		for _, c := range ce.CoverageEdges(m, b, n) {
-			add(c)
-		}
-	}
-	for _, h := range holders {
-		if !covered[h] {
-			return fmt.Errorf("coverage: node %d holds a stable copy of block %d the directory cannot reach", h, b)
-		}
-	}
-	return nil
+	return msgs
 }
 
 // checkTerminal asserts quiescent-state convergence on a state with no
 // enabled choices: nothing may be stuck. Every node finished its
 // program (an unfinished node with no deliverable message is
 // deadlocked), no transaction or home gate is outstanding, and the
-// monitor's end-of-run checks pass.
+// monitor's end-of-run checks pass (Quiescent in machine.go).
 func (r *replayer) checkTerminal() error {
-	m := r.m
 	for n := range r.cfg.Program {
 		if r.cursors[n] < len(r.cfg.Program[n]) {
 			return fmt.Errorf("deadlock: node %d stuck before %q with nothing in flight",
 				n, r.cfg.Program[n][r.cursors[n]])
 		}
 	}
-	for n := range m.Nodes {
-		if m.Outstanding(coherent.NodeID(n)) > 0 {
-			return fmt.Errorf("deadlock: node %d has an outstanding transaction with nothing in flight", n)
-		}
-	}
-	for b := coherent.BlockID(0); int(b) < r.cfg.Blocks; b++ {
-		if m.HomeGateBusy(b) {
-			return fmt.Errorf("deadlock: block %d home gate held with nothing in flight", b)
-		}
-	}
-	m.Mon.OnQuiesce()
-	if errs := m.Mon.Errors(); len(errs) > 0 {
-		return fmt.Errorf("quiesce: %s", errs[0])
-	}
-	return nil
+	return Quiescent(r.m, r.cfg.Blocks)
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package check
+
+// raceEnabled gates the Wide grid entries: exhaustive BFS over
+// millions of states is single-threaded per config, so the race
+// detector's ~10-20x slowdown buys nothing there — the narrow grid
+// already runs every engine's transition code under -race via the
+// parallel subtests.
+const raceEnabled = true

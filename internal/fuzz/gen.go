@@ -1,0 +1,287 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircc/internal/coherent"
+)
+
+// The generator catalog: adversarial sharing patterns beyond the SPLASH
+// applications, each a pure function of (seed, procs). Every workload
+// ends with a read-only audit phase whose values feed the cross-engine
+// read digest, and every write value obeys the (phase, block) rule (see
+// the package comment) so racing writers stay comparable.
+
+// Generator is one named workload family.
+type Generator struct {
+	Name string
+	New  func(seed uint64, procs int) *Workload
+}
+
+// Generators returns the catalog in canonical order.
+func Generators() []Generator {
+	return []Generator{
+		{"hotspot", Hotspot},
+		{"migratory", Migratory},
+		{"producer-consumer", ProducerConsumer},
+		{"false-sharing", FalseSharing},
+		{"replacement-storm", ReplacementStorm},
+		{"random-mix", RandomMix},
+	}
+}
+
+// Generate builds the named family's workload, or errors on an unknown
+// name (the cmd/stress -gen flag).
+func Generate(name string, seed uint64, procs int) (*Workload, error) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g.New(seed, procs), nil
+		}
+	}
+	return nil, fmt.Errorf("fuzz: unknown generator %q (have %s)", name, GeneratorNames())
+}
+
+// GeneratorNames returns the catalog names, comma-separated.
+func GeneratorNames() string {
+	s := ""
+	for i, g := range Generators() {
+		if i > 0 {
+			s += ","
+		}
+		s += g.Name
+	}
+	return s
+}
+
+// ForSeed derives a complete workload from a bare seed: the generator,
+// the machine size and all parameters are drawn from the seed, so the
+// native fuzz targets and the soak loop explore the whole catalog from
+// a single uint64. Machine sizes are weighted toward the small end so
+// a corpus run stays fast, with a tail up to P=32.
+func ForSeed(seed uint64) *Workload {
+	rng := rngFor(seed, 0)
+	procs := []int{4, 4, 8, 8, 8, 16, 16, 32}[rng.Intn(8)]
+	gens := Generators()
+	return gens[rng.Intn(len(gens))].New(seed, procs)
+}
+
+// rngFor builds the deterministic stream for (seed, stream).
+func rngFor(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(seed + stream*0x9e3779b97f4a7c15))))
+}
+
+// splitmix64 is the canonical seed scrambler.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// valueOf is the (phase, block) write-value rule.
+func valueOf(seed uint64, phase int, b coherent.BlockID) uint64 {
+	return splitmix64(seed ^ uint64(phase)*0xa24baed4963ee407 ^ uint64(b)*0x9fb21c651e98df25)
+}
+
+// audit appends the read-only audit phase: every node re-reads a
+// deterministic sample of blocks, so a stale copy an invalidation wave
+// missed surfaces as a read-digest divergence (and as a monitor
+// violation on the hit path).
+func audit(w *Workload, rng *rand.Rand) {
+	per := w.Blocks
+	if per > 8 {
+		per = 8
+	}
+	ph := Phase{ReadOnly: true}
+	for n := 0; n < w.Procs; n++ {
+		for i := 0; i < per; i++ {
+			ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: coherent.BlockID(rng.Intn(w.Blocks))})
+		}
+	}
+	w.Phases = append(w.Phases, ph)
+}
+
+// Hotspot hammers one hot block: a few writers per phase race on it
+// (idempotent values) while everyone else polls it, with background
+// traffic on cold blocks. Exercises wide invalidation waves and
+// directory-gate contention at the hot home.
+func Hotspot(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 1)
+	w := &Workload{Name: "hotspot", Seed: seed, Procs: procs, Blocks: 4 + rng.Intn(12)}
+	const hot = coherent.BlockID(0)
+	phases := 2 + rng.Intn(3)
+	for p := 0; p < phases; p++ {
+		var ph Phase
+		writers := 1 + rng.Intn(3)
+		for i := 0; i < writers; i++ {
+			n := rng.Intn(procs)
+			ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpWrite, Block: hot, Value: valueOf(seed, p, hot)})
+		}
+		for n := 0; n < procs; n++ {
+			polls := 1 + rng.Intn(3)
+			for i := 0; i < polls; i++ {
+				ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: hot})
+			}
+			cold := coherent.BlockID(1 + rng.Intn(w.Blocks-1))
+			if rng.Intn(3) == 0 {
+				ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpWrite, Block: cold, Value: valueOf(seed, p, cold)})
+			} else {
+				ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: cold})
+			}
+		}
+		w.Phases = append(w.Phases, ph)
+	}
+	audit(w, rng)
+	return w
+}
+
+// Migratory hands each block's ownership around the machine: in phase
+// p, node (b+p) mod procs reads then rewrites block b. Exercises the
+// exclusive hand-off path (recall, writeback, re-grant) under load.
+func Migratory(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 2)
+	w := &Workload{Name: "migratory", Seed: seed, Procs: procs, Blocks: procs + rng.Intn(procs)}
+	phases := 3 + rng.Intn(3)
+	for p := 0; p < phases; p++ {
+		var ph Phase
+		for b := 0; b < w.Blocks; b++ {
+			n := (b + p) % procs
+			ph.Ops = append(ph.Ops,
+				Op{Node: n, Kind: OpRead, Block: coherent.BlockID(b)},
+				Op{Node: n, Kind: OpWrite, Block: coherent.BlockID(b), Value: valueOf(seed, p, coherent.BlockID(b))})
+		}
+		w.Phases = append(w.Phases, ph)
+	}
+	audit(w, rng)
+	return w
+}
+
+// ProducerConsumer alternates write and read phases across two node
+// groups: producers fill disjoint block ranges, then consumers read
+// them in a read-only (digest-checked) phase. The classic pattern for
+// catching a consumer's stale copy surviving the producers' waves.
+func ProducerConsumer(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 3)
+	half := procs / 2
+	perProd := 2 + rng.Intn(3)
+	w := &Workload{Name: "producer-consumer", Seed: seed, Procs: procs, Blocks: half * perProd}
+	rounds := 2 + rng.Intn(2)
+	for r := 0; r < rounds; r++ {
+		var prod Phase
+		for i := 0; i < half; i++ {
+			for j := 0; j < perProd; j++ {
+				b := coherent.BlockID(i*perProd + j)
+				prod.Ops = append(prod.Ops, Op{Node: i, Kind: OpWrite, Block: b, Value: valueOf(seed, 2*r, b)})
+			}
+		}
+		w.Phases = append(w.Phases, prod)
+		cons := Phase{ReadOnly: true}
+		for i := half; i < procs; i++ {
+			src := rng.Intn(half)
+			for j := 0; j < perProd; j++ {
+				cons.Ops = append(cons.Ops, Op{Node: i, Kind: OpRead, Block: coherent.BlockID(src*perProd + j)})
+			}
+		}
+		w.Phases = append(w.Phases, cons)
+	}
+	audit(w, rng)
+	return w
+}
+
+// FalseSharing pairs nodes on adjacent blocks: each partner writes its
+// own block and polls the neighbor's, so ownership of neighboring
+// blocks ping-pongs through adjacent homes. (Blocks carry one word
+// here, so the classic same-block word conflict maps to adjacent-block
+// home and cache-set contention.)
+func FalseSharing(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 4)
+	pairs := procs / 2
+	w := &Workload{Name: "false-sharing", Seed: seed, Procs: procs, Blocks: 2 * pairs}
+	phases := 2 + rng.Intn(3)
+	for p := 0; p < phases; p++ {
+		var ph Phase
+		for i := 0; i < pairs; i++ {
+			a, b := 2*i, 2*i+1
+			ba, bb := coherent.BlockID(a), coherent.BlockID(b)
+			reps := 1 + rng.Intn(2)
+			for r := 0; r < reps; r++ {
+				ph.Ops = append(ph.Ops,
+					Op{Node: a, Kind: OpWrite, Block: ba, Value: valueOf(seed, p, ba)},
+					Op{Node: a, Kind: OpRead, Block: bb},
+					Op{Node: b, Kind: OpWrite, Block: bb, Value: valueOf(seed, p, bb)},
+					Op{Node: b, Kind: OpRead, Block: ba})
+			}
+		}
+		w.Phases = append(w.Phases, ph)
+	}
+	audit(w, rng)
+	return w
+}
+
+// ReplacementStorm forces Replace_INV subtree teardown: tiny caches,
+// every node walking a shared window wider than its cache, explicit
+// replacements of just-read blocks, and a writer wave over the torn
+// structure each phase. This is the pattern that kills
+// replacement-handling mutants.
+func ReplacementStorm(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 5)
+	lines := 1 + rng.Intn(2)
+	blocks := lines*3 + rng.Intn(4)
+	w := &Workload{Name: "replacement-storm", Seed: seed, Procs: procs, Blocks: blocks, CacheLines: lines}
+	phases := 2 + rng.Intn(2)
+	for p := 0; p < phases; p++ {
+		var ph Phase
+		for n := 0; n < procs; n++ {
+			start := rng.Intn(blocks)
+			walk := 2 + rng.Intn(3)
+			for i := 0; i < walk; i++ {
+				b := coherent.BlockID((start + i) % blocks)
+				ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: b})
+				if rng.Intn(2) == 0 {
+					ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpReplace, Block: b})
+				}
+			}
+		}
+		writers := 1 + rng.Intn(2)
+		for i := 0; i < writers; i++ {
+			b := coherent.BlockID(rng.Intn(blocks))
+			ph.Ops = append(ph.Ops, Op{Node: rng.Intn(procs), Kind: OpWrite, Block: b, Value: valueOf(seed, p, b)})
+		}
+		w.Phases = append(w.Phases, ph)
+	}
+	audit(w, rng)
+	return w
+}
+
+// RandomMix is the unstructured fallback: every node issues a random
+// run of reads, writes and replacements each phase, sometimes through
+// a tiny cache. Breadth over focus.
+func RandomMix(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 6)
+	w := &Workload{Name: "random-mix", Seed: seed, Procs: procs, Blocks: 4 + rng.Intn(20)}
+	if rng.Intn(3) == 0 {
+		w.CacheLines = 1 + rng.Intn(3)
+	}
+	phases := 2 + rng.Intn(3)
+	for p := 0; p < phases; p++ {
+		var ph Phase
+		for n := 0; n < procs; n++ {
+			ops := 3 + rng.Intn(5)
+			for i := 0; i < ops; i++ {
+				b := coherent.BlockID(rng.Intn(w.Blocks))
+				switch rng.Intn(6) {
+				case 0:
+					ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpWrite, Block: b, Value: valueOf(seed, p, b)})
+				case 1:
+					ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpReplace, Block: b})
+				default:
+					ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: b})
+				}
+			}
+		}
+		w.Phases = append(w.Phases, ph)
+	}
+	audit(w, rng)
+	return w
+}

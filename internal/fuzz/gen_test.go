@@ -1,0 +1,112 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGeneratorDeterminism: every generator is a pure function of
+// (seed, procs) — two invocations render byte-identical canonical
+// text — and every generated workload is valid, sized as requested,
+// and ends with the read-only audit phase the differential oracle
+// relies on.
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, g := range Generators() {
+		for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+			for _, procs := range []int{4, 8, 32} {
+				a, b := g.New(seed, procs), g.New(seed, procs)
+				if a.Canon() != b.Canon() {
+					t.Errorf("%s(%#x, %d) is not deterministic", g.Name, seed, procs)
+				}
+				if err := a.validate(); err != nil {
+					t.Errorf("%s(%#x, %d): %v", g.Name, seed, procs, err)
+				}
+				if a.Procs != procs {
+					t.Errorf("%s(%#x, %d): workload sized for %d procs", g.Name, seed, procs, a.Procs)
+				}
+				if last := a.Phases[len(a.Phases)-1]; !last.ReadOnly || len(last.Ops) == 0 {
+					t.Errorf("%s(%#x, %d): missing the read-only audit phase", g.Name, seed, procs)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteValueRule: within one workload, any two writes to the same
+// (phase, block) pair must store the same value — the invariant that
+// makes racing writers commute and the final memory image comparable
+// across engines.
+func TestWriteValueRule(t *testing.T) {
+	for _, g := range Generators() {
+		for _, seed := range []uint64{3, 99} {
+			w := g.New(seed, 16)
+			for pi, ph := range w.Phases {
+				seen := map[int]uint64{}
+				for _, op := range ph.Ops {
+					if op.Kind != OpWrite {
+						continue
+					}
+					if v, ok := seen[int(op.Block)]; ok && v != op.Value {
+						t.Errorf("%s(%#x) phase %d block %d: values %#x and %#x", g.Name, seed, pi, op.Block, v, op.Value)
+					}
+					seen[int(op.Block)] = op.Value
+				}
+			}
+		}
+	}
+}
+
+// TestForSeed: the bare-seed entry point is deterministic and always
+// yields a valid workload, across a wide seed sample.
+func TestForSeed(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		a, b := ForSeed(seed), ForSeed(seed)
+		if a.Canon() != b.Canon() {
+			t.Errorf("ForSeed(%d) is not deterministic", seed)
+		}
+		if err := a.validate(); err != nil {
+			t.Errorf("ForSeed(%d): %v", seed, err)
+		}
+	}
+}
+
+// TestGenerate covers the name lookup used by cmd/stress -gen.
+func TestGenerate(t *testing.T) {
+	w, err := Generate("hotspot", 1, 8)
+	if err != nil || w.Name != "hotspot" {
+		t.Errorf("Generate(hotspot): %v, %v", w, err)
+	}
+	if _, err := Generate("no-such-generator", 1, 8); err == nil || !strings.Contains(err.Error(), "hotspot") {
+		t.Errorf("unknown generator error should list the catalog, got %v", err)
+	}
+}
+
+// TestValidate covers the workload rejection paths.
+func TestValidate(t *testing.T) {
+	base := func() *Workload {
+		return &Workload{Name: "t", Procs: 2, Blocks: 1, Phases: []Phase{{Ops: []Op{{Node: 0, Kind: OpRead}}}}}
+	}
+	if err := base().validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Workload){
+		"procs":         func(w *Workload) { w.Procs = 1 },
+		"blocks":        func(w *Workload) { w.Blocks = 0 },
+		"cachelines":    func(w *Workload) { w.CacheLines = -1 },
+		"node-range":    func(w *Workload) { w.Phases[0].Ops[0].Node = 2 },
+		"block-range":   func(w *Workload) { w.Phases[0].Ops[0].Block = 1 },
+		"readonly-lies": func(w *Workload) { w.Phases[0].ReadOnly = true; w.Phases[0].Ops[0].Kind = OpWrite },
+	} {
+		w := base()
+		mut(w)
+		if err := w.validate(); err == nil {
+			t.Errorf("%s: invalid workload accepted", name)
+		}
+		if _, err := RunDifferential(w, AllEngines()); err == nil {
+			t.Errorf("%s: RunDifferential accepted an invalid workload", name)
+		}
+	}
+	if _, err := RunDifferential(base(), AllEngines()[:1]); err == nil {
+		t.Error("single-engine differential accepted")
+	}
+}

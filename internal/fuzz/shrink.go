@@ -1,0 +1,147 @@
+package fuzz
+
+import "dircc/internal/coherent"
+
+// Shrink delta-debugs w down to a locally minimal workload that still
+// satisfies fails. The pass order is fixed — whole phases, then ddmin
+// chunk removal of ops inside each phase, then machine-bound reduction
+// (procs, blocks) — and every candidate is re-validated by running
+// fails, so the result is deterministic: the same divergence always
+// shrinks to the byte-identical Canon() witness.
+func Shrink(w *Workload, fails func(*Workload) bool) *Workload {
+	cur := w.clone()
+	for changed := true; changed; {
+		changed = false
+		if shrinkPhases(cur, fails) {
+			changed = true
+		}
+		if shrinkOps(cur, fails) {
+			changed = true
+		}
+		if shrinkBounds(cur, fails) {
+			changed = true
+		}
+	}
+	cur.Name = w.Name + "-min"
+	return cur
+}
+
+// ShrinkDivergence minimizes the workload behind d against the same
+// engine set and returns the minimal workload with its (re-confirmed)
+// divergence.
+func ShrinkDivergence(d *Divergence, engines []NamedEngine) (*Workload, *Divergence) {
+	min := Shrink(d.Workload, func(w *Workload) bool {
+		dd, err := RunDifferential(w, engines)
+		return err == nil && dd != nil
+	})
+	dd, _ := RunDifferential(min, engines)
+	if dd == nil {
+		// Cannot happen — Shrink only keeps failing candidates — but
+		// degrade to the original rather than return an inconsistency.
+		return d.Workload, d
+	}
+	return min, dd
+}
+
+func (w *Workload) clone() *Workload {
+	c := *w
+	c.Phases = make([]Phase, len(w.Phases))
+	for i, ph := range w.Phases {
+		c.Phases[i] = Phase{Ops: append([]Op(nil), ph.Ops...), ReadOnly: ph.ReadOnly}
+	}
+	return &c
+}
+
+// shrinkPhases drops whole phases, last to first.
+func shrinkPhases(w *Workload, fails func(*Workload) bool) bool {
+	changed := false
+	for i := len(w.Phases) - 1; i >= 0; i-- {
+		if len(w.Phases) == 1 {
+			break
+		}
+		cand := w.clone()
+		cand.Phases = append(cand.Phases[:i], cand.Phases[i+1:]...)
+		if fails(cand) {
+			w.Phases = cand.Phases
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shrinkOps runs ddmin-style chunk removal inside every phase: chunk
+// sizes halve from len/2 down to 1, scanning back to front so audit
+// reads go first.
+func shrinkOps(w *Workload, fails func(*Workload) bool) bool {
+	changed := false
+	for pi := range w.Phases {
+		for size := (len(w.Phases[pi].Ops) + 1) / 2; size >= 1; size /= 2 {
+			for at := len(w.Phases[pi].Ops) - size; at >= 0; at -= size {
+				ops := w.Phases[pi].Ops
+				if at+size > len(ops) {
+					continue
+				}
+				cand := w.clone()
+				cand.Phases[pi].Ops = append(append([]Op(nil), ops[:at]...), ops[at+size:]...)
+				if fails(cand) {
+					w.Phases[pi].Ops = cand.Phases[pi].Ops
+					changed = true
+				}
+			}
+		}
+	}
+	if dropEmptyPhases(w) {
+		changed = true
+	}
+	return changed
+}
+
+func dropEmptyPhases(w *Workload) bool {
+	kept := w.Phases[:0]
+	for _, ph := range w.Phases {
+		if len(ph.Ops) > 0 {
+			kept = append(kept, ph)
+		}
+	}
+	changed := len(kept) != len(w.Phases)
+	if len(kept) == 0 {
+		kept = append(kept, Phase{})
+	}
+	w.Phases = kept
+	return changed
+}
+
+// shrinkBounds tightens Procs and Blocks to the ops actually left.
+// Both change home mapping and cache conflict structure, so each is a
+// candidate verified by fails, not an unconditional rewrite.
+func shrinkBounds(w *Workload, fails func(*Workload) bool) bool {
+	maxNode, maxBlock := 1, coherent.BlockID(0)
+	for _, ph := range w.Phases {
+		for _, op := range ph.Ops {
+			if op.Node > maxNode {
+				maxNode = op.Node
+			}
+			if op.Block > maxBlock {
+				maxBlock = op.Block
+			}
+		}
+	}
+	changed := false
+	if p := maxNode + 1; p < w.Procs {
+		cand := w.clone()
+		cand.Procs = p
+		if fails(cand) {
+			w.Procs = p
+			changed = true
+		}
+	}
+	if b := int(maxBlock) + 1; b < w.Blocks {
+		cand := w.clone()
+		cand.Blocks = b
+		if fails(cand) {
+			w.Blocks = b
+			changed = true
+		}
+	}
+	return changed
+}

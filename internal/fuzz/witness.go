@@ -1,0 +1,120 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteWitness persists a divergence into dir as three artifacts and
+// returns their paths:
+//
+//   - <stem>.workload.txt — the canonical workload text,
+//   - <stem>.trace.jsonl — the diverging engine's protocol-event trace
+//     in the observability layer's JSONL format (the same witness
+//     format the model checker emits),
+//   - <stem>_test.go.txt — a ready-to-paste Go regression test.
+//
+// engines must be the set the divergence was found with; the trace is
+// recorded by re-running the diverging engine, which is deterministic.
+func WriteWitness(dir string, d *Divergence, engines []NamedEngine) ([]string, error) {
+	w := d.Workload
+	stem := fmt.Sprintf("fuzz-witness-%s-seed%x-%s", w.Name, w.Seed, d.Engine)
+	var paths []string
+	write := func(name, content string) error {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			return err
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	if err := write(stem+".workload.txt", d.Error()+"\n\n"+w.Canon()); err != nil {
+		return nil, err
+	}
+	var eng *NamedEngine
+	for i := range engines {
+		if engines[i].Name == d.Engine {
+			eng = &engines[i]
+		}
+	}
+	if eng != nil {
+		var sb strings.Builder
+		if err := TraceWitness(w, *eng).WriteJSONL(&sb); err != nil {
+			return nil, err
+		}
+		if err := write(stem+".trace.jsonl", sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	if err := write(stem+"_test.go.txt", RegressionTest(d)); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// RegressionTest renders a self-contained Go test reproducing the
+// divergence — paste it into internal/fuzz as a _test.go file.
+func RegressionTest(d *Divergence) string {
+	w := d.Workload
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `package fuzz
+
+// Regression test for a differential divergence found by the fuzzer:
+//   %s
+// Generated from seed %#x (generator %q); the workload below is the
+// minimized reproduction.
+
+import (
+	"testing"
+
+	"dircc/internal/coherent"
+)
+
+func TestRegression_%s_seed%x(t *testing.T) {
+	w := %s
+	if d, err := RunDifferential(w, AllEngines()); err != nil {
+		t.Fatal(err)
+	} else if d != nil {
+		t.Fatalf("divergence: %%s", d)
+	}
+}
+`, d.Error(), w.Seed, w.Name, identifier(w.Name), w.Seed, goLiteral(w))
+	return sb.String()
+}
+
+// identifier strips non-identifier characters from a generator name.
+func identifier(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// goLiteral renders w as a Go composite literal.
+func goLiteral(w *Workload) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "&Workload{\n\t\tName: %q, Seed: %#x,\n\t\tProcs: %d, Blocks: %d, CacheLines: %d,\n\t\tPhases: []Phase{\n",
+		w.Name, w.Seed, w.Procs, w.Blocks, w.CacheLines)
+	for _, ph := range w.Phases {
+		sb.WriteString("\t\t\t{")
+		if ph.ReadOnly {
+			sb.WriteString("ReadOnly: true, ")
+		}
+		sb.WriteString("Ops: []Op{\n")
+		for _, op := range ph.Ops {
+			kind := [...]string{"OpRead", "OpWrite", "OpReplace"}[op.Kind]
+			fmt.Fprintf(&sb, "\t\t\t\t{Node: %d, Kind: %s, Block: coherent.BlockID(%d)", op.Node, kind, op.Block)
+			if op.Kind == OpWrite {
+				fmt.Fprintf(&sb, ", Value: %#x", op.Value)
+			}
+			sb.WriteString("},\n")
+		}
+		sb.WriteString("\t\t\t}},\n")
+	}
+	sb.WriteString("\t\t},\n\t}")
+	return sb.String()
+}

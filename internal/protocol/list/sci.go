@@ -53,6 +53,14 @@ type tombKey struct {
 type SCI struct {
 	entries    map[coherent.BlockID]*sciEntry
 	tombstones map[tombKey]coherent.NodeID
+	// attach tracks every in-flight read attach: key is the requester,
+	// value the old head it was told to fetch from. An eviction marks
+	// attaches aimed at the dying copy stale (NoNode) so the Fwd can be
+	// answered immediately instead of deferred — deferring an attach
+	// aimed at a dead incarnation onto that node's NEW transaction
+	// invents a dependency that can close a cycle of deferred attaches
+	// and deadlock.
+	attach map[tombKey]coherent.NodeID
 }
 
 // NewSCI returns an SCI engine.
@@ -60,6 +68,7 @@ func NewSCI() *SCI {
 	return &SCI{
 		entries:    make(map[coherent.BlockID]*sciEntry),
 		tombstones: make(map[tombKey]coherent.NodeID),
+		attach:     make(map[tombKey]coherent.NodeID),
 	}
 }
 
@@ -125,6 +134,7 @@ func (e *SCI) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 			en.state = shared
 			en.owner = coherent.NoNode
 		}
+		e.attach[tombKey{msg.Requester, b}] = oldHead
 		e.markServed(m, msg.Requester, b)
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgHeadReply, Src: home, Dst: msg.Requester, Block: b,
@@ -211,6 +221,7 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			panic("list/sci: DataReply without matching read txn")
 		}
 		delete(e.tombstones, tombKey{n, msg.Block})
+		delete(e.attach, tombKey{n, msg.Block})
 		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: coherent.NoNode})
 	case coherent.MsgWriteReply:
 		txn := m.Txn(n, msg.Block)
@@ -218,6 +229,7 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			panic("list/sci: WriteReply without matching write txn")
 		}
 		delete(e.tombstones, tombKey{n, msg.Block})
+		delete(e.attach, tombKey{n, msg.Block})
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, &sciMeta{prev: coherent.NoNode, next: coherent.NoNode})
 		m.ReleaseHome(msg.Block)
 	case coherent.MsgHeadReply:
@@ -237,6 +249,25 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	case coherent.MsgFwd:
 		// New head attaching: record it as our predecessor and supply
 		// the data.
+		if t, ok := e.attach[tombKey{msg.Requester, msg.Block}]; ok && t == coherent.NoNode {
+			// The attacher is chasing a copy we already evicted (its
+			// attach was stale-marked by OnEvict). Answer at once — never
+			// defer: deferring onto our own re-read transaction would
+			// invent a dependency on the NEW incarnation and can close a
+			// cycle of deferred attaches that deadlocks. The data comes
+			// from current home memory (an evicted dirty copy writes back
+			// synchronously, and no write can complete while the attacher
+			// is pending — its purge defers behind the attacher — so this
+			// is the value at the attacher's serialization point). Real
+			// SCI resolves this by retrying at memory; we skip the retry
+			// round trip, a documented liberty.
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
+				Requester: msg.Requester, HasData: true, Data: m.Store.Value(msg.Block),
+				Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+			return
+		}
 		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
 			txn.Deferred = append(txn.Deferred, msg)
 			return
@@ -268,7 +299,9 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			panic("list/sci: ChainData without matching read txn")
 		}
 		delete(e.tombstones, tombKey{n, msg.Block})
-		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: msg.Src})
+		delete(e.attach, tombKey{n, msg.Block})
+		next := e.liveSuccessor(m, msg.Src, msg.Block)
+		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: next})
 	case coherent.MsgPurge:
 		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
 			txn.Deferred = append(txn.Deferred, msg)
@@ -301,6 +334,30 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	default:
 		panic("list/sci: unexpected cache message " + msg.Type.String())
 	}
+}
+
+// liveSuccessor resolves src to the nearest live chain position by
+// following replacement tombstones. An attacher recording src as its
+// successor while src's eviction raced the in-flight attach would
+// otherwise materialize an edge to a dead incarnation — the eviction
+// splice could not patch the attacher's pointer because its line did
+// not exist yet. Data flows strictly in attach order, so the supplier's
+// tombstone is still present whenever the edge needs rerouting.
+func (e *SCI) liveSuccessor(m *coherent.Machine, src coherent.NodeID, b coherent.BlockID) coherent.NodeID {
+	for hops := 0; hops <= len(m.Nodes); hops++ {
+		if src == coherent.NoNode {
+			return src
+		}
+		if ln := m.Nodes[src].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
+			return src
+		}
+		t, ok := e.tombstones[tombKey{src, b}]
+		if !ok {
+			return src
+		}
+		src = t
+	}
+	return src
 }
 
 // startPurge begins the writer's serial purge at the old head.
@@ -353,9 +410,41 @@ func (e *SCI) continuePurge(m *coherent.Machine, txn *coherent.Txn, cur coherent
 // list, notifying both neighbors (the home when we are the head).
 func (e *SCI) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	b := ln.Block
+	// Any in-flight attach aimed at this copy is now chasing a dead
+	// incarnation: stale-mark it so the Fwd is answered instead of
+	// deferred (see CacheMsg MsgFwd). The attacher is also our true
+	// in-flight predecessor — it supersedes meta.prev, which cannot
+	// have been updated yet (the Fwd carrying that update is the very
+	// message in flight).
+	pendingPrev := coherent.NoNode
+	for k, v := range e.attach {
+		if k.b == b && v == n {
+			e.attach[k] = coherent.NoNode
+			pendingPrev = k.n
+		}
+	}
 	if ln.State == cache.Exclusive {
+		// Dirty eviction: apply the writeback and the home bookkeeping
+		// atomically in simulator state — the same liberty as the list
+		// splice below — so home never serves the stale pre-writeback
+		// value during the message's flight; the Unlink accounts for the
+		// traffic. A dead-end tombstone makes chain edges recorded
+		// against this incarnation resolve to "end of list".
+		m.Ctr.Writebacks++
+		m.Store.WritebackValue(b, ln.Val)
+		en := e.entry(b)
+		if en.owner == n {
+			en.owner = coherent.NoNode
+		}
+		if en.head == n {
+			en.head = coherent.NoNode
+			en.state = uncached
+		} else if en.state == dirty {
+			en.state = shared
+		}
+		e.tombstones[tombKey{n, b}] = coherent.NoNode
 		m.Send(&coherent.Msg{
-			Type: coherent.MsgWbData, Src: n, Dst: m.Home(b), Block: b,
+			Type: coherent.MsgUnlink, Src: n, Dst: m.Home(b), Block: b,
 			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 		})
 		return
@@ -365,6 +454,12 @@ func (e *SCI) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 		return
 	}
 	prev, next := meta.prev, meta.next
+	if pendingPrev != coherent.NoNode {
+		// A pending attacher outranks whatever meta.prev says: it is
+		// the newest predecessor, and its own successor edge will be
+		// rerouted past us through the tombstone when it completes.
+		prev = pendingPrev
+	}
 	// Apply the splice in simulator state (see the type comment), then
 	// send the unlink traffic.
 	if prev == coherent.NoNode {

@@ -83,6 +83,19 @@ func (e *SCI) CanonState(w io.Writer) {
 	for _, k := range tombs {
 		fmt.Fprintf(w, "tomb n%d b%d -> %d\n", k.n, k.b, e.tombstones[k])
 	}
+	atts := make([]tombKey, 0, len(e.attach))
+	for k := range e.attach {
+		atts = append(atts, k)
+	}
+	sort.Slice(atts, func(i, j int) bool {
+		if atts[i].b != atts[j].b {
+			return atts[i].b < atts[j].b
+		}
+		return atts[i].n < atts[j].n
+	})
+	for _, k := range atts {
+		fmt.Fprintf(w, "attach n%d b%d -> %d\n", k.n, k.b, e.attach[k])
+	}
 }
 
 // CoverageRoots implements coherent.CoverageEnumerator.

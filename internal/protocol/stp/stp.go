@@ -49,7 +49,14 @@ type entry struct {
 }
 
 type pending struct {
-	req      *coherent.Msg
+	req *coherent.Msg
+	// txn is the requester's outstanding transaction at serialization
+	// time (reads only). Served-marking on Done/bounce must verify the
+	// requester is still in THIS transaction: after a silent
+	// replacement the requester may already be in a newer one, and
+	// marking that served would defer a later write's invalidation onto
+	// a read queued behind that very write — a deadlock.
+	txn      *coherent.Txn
 	acksLeft int
 }
 
@@ -148,7 +155,7 @@ func (e *Engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 		}
 		// Descend from the root; the gate stays held until the adopter
 		// confirms with Done (or the descent bounces).
-		en.pend = &pending{req: msg}
+		en.pend = &pending{req: msg, txn: m.Txn(msg.Requester, b)}
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgFwd, Src: home, Dst: en.root, Block: b,
 			Requester: msg.Requester, Aux: coherent.NoNode, AckTo: coherent.NoNode,
@@ -191,6 +198,18 @@ func (e *Engine) markServed(m *coherent.Machine, n coherent.NodeID, b coherent.B
 	}
 }
 
+// markServedPending marks a pend-tracked read served only if the
+// requester's outstanding transaction is still the one serialized when
+// the pend was created. ChainData and Done travel independently, so the
+// requester may have completed, silently replaced, and issued a fresh
+// read before the Done reaches home — that fresh read has not been
+// serialized and must not be marked.
+func (e *Engine) markServedPending(m *coherent.Machine, p *pending, b coherent.BlockID) {
+	if txn := m.Txn(p.req.Requester, b); txn != nil && txn == p.txn && !txn.Write {
+		txn.Served = true
+	}
+}
+
 func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	b := msg.Block
 	en.pend = nil
@@ -216,7 +235,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if en.pend == nil {
 			panic("stp: Done without a pending read")
 		}
-		e.markServed(m, en.pend.req.Requester, msg.Block)
+		e.markServedPending(m, en.pend, msg.Block)
 		en.pend = nil
 		m.ReleaseHome(msg.Block)
 	case coherent.MsgFwd:
@@ -225,7 +244,8 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if en.pend == nil {
 			panic("stp: bounced insert without a pending read")
 		}
-		req := en.pend.req
+		p := en.pend
+		req := p.req
 		en.pend = nil
 		oldRoot := en.root
 		b := msg.Block
@@ -236,7 +256,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			ptrs = []coherent.NodeID{oldRoot}
 		}
 		m.ReadMem(func() {
-			e.markServed(m, req.Requester, b)
+			e.markServedPending(m, p, b)
 			m.Send(&coherent.Msg{
 				Type: coherent.MsgDataReply, Src: m.Home(b), Dst: req.Requester, Block: b,
 				Requester: req.Requester, HasData: true, Data: m.Store.Value(b),

@@ -1,0 +1,90 @@
+package treemath
+
+import "testing"
+
+// TestChainIdentity: the first pointer's tree is a chain, so N_1(j)=j
+// exactly, well past the table's range.
+func TestChainIdentity(t *testing.T) {
+	for j := 0; j <= 64; j++ {
+		if got := N(1, j); got != int64(j) {
+			t.Fatalf("N(1,%d) = %d, want %d", j, got, j)
+		}
+	}
+}
+
+// TestPerfectTreeBranch: for levels at or below the pointer index the
+// recurrence bottoms out at the perfect binary tree, N_i(j) = 2^j - 1.
+func TestPerfectTreeBranch(t *testing.T) {
+	for i := 2; i <= 6; i++ {
+		for j := 1; j <= i; j++ {
+			if got, want := N(i, j), BinaryTreeNodes(j); got != want {
+				t.Errorf("N(%d,%d) = %d, want perfect tree %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxNodesZeroLevel(t *testing.T) {
+	for i := 1; i <= 4; i++ {
+		if got := MaxNodes(i, 0); got != 0 {
+			t.Errorf("MaxNodes(%d,0) = %d, want 0", i, got)
+		}
+	}
+}
+
+// TestPaperColumnValues pins the reconstruction against the printed
+// Dir_4Tree_2 rows it is documented to match (levels 3 and 6..12).
+func TestPaperColumnValues(t *testing.T) {
+	for _, level := range []int{3, 6, 7, 8, 9, 10, 11, 12} {
+		want := PaperTable4[level][1]
+		if got := PaperColumn(4, level); got != want {
+			t.Errorf("PaperColumn(4,%d) = %d, paper prints %d", level, got, want)
+		}
+	}
+	// Levels 4 and 5 are the rows where the paper's column instead
+	// matches MaxNodes — the documented mixed reading.
+	for _, level := range []int{4, 5} {
+		want := PaperTable4[level][1]
+		if got := MaxNodes(4, level); got != want {
+			t.Errorf("MaxNodes(4,%d) = %d, paper prints %d", level, got, want)
+		}
+	}
+}
+
+// TestLevelForAgreesWithMaxNodes: LevelFor is the inverse of MaxNodes —
+// the returned level reaches n, and the level below does not.
+func TestLevelForAgreesWithMaxNodes(t *testing.T) {
+	for i := 1; i <= 4; i++ {
+		for level := 1; level <= 8; level++ {
+			n := MaxNodes(i, level)
+			if n == 0 {
+				continue
+			}
+			got := LevelFor(i, n)
+			if MaxNodes(i, got) < n {
+				t.Fatalf("LevelFor(%d,%d) = %d does not reach %d", i, n, got, n)
+			}
+			if got > 1 && MaxNodes(i, got-1) >= n {
+				t.Fatalf("LevelFor(%d,%d) = %d is not minimal", i, n, got)
+			}
+			if next := MaxNodes(i, level) + 1; LevelFor(i, next) <= level && MaxNodes(i, level) < next {
+				t.Fatalf("LevelFor(%d,%d) did not advance past level %d", i, next, level)
+			}
+		}
+	}
+}
+
+func TestLevelForNonPositive(t *testing.T) {
+	if LevelFor(2, 0) != 0 || LevelFor(2, -5) != 0 {
+		t.Error("LevelFor of a non-positive count should be 0")
+	}
+}
+
+func TestMaxNodesNegativeLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxNodes with a negative level did not panic")
+		}
+	}()
+	MaxNodes(2, -1)
+}
