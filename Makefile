@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench perf sweep cover lint check smoke fuzz stress clean
+.PHONY: all build test tier1 vet race bench perf perf-shards sweep cover lint check smoke fuzz stress clean
 
 all: tier1
 
@@ -19,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own analyzer suite (cmd/dirccvet:
-# simdet, maprange, probeguard). staticcheck and govulncheck also run
+# simdet, maprange, probeguard, shardsafe). staticcheck and govulncheck also run
 # when installed — CI installs them; offline dev boxes may not have
 # them, so their absence is not an error here.
 lint: vet
@@ -29,17 +29,22 @@ lint: vet
 
 # check runs the exhaustive model checker over every protocol engine
 # (internal/check: all interleavings of the tiny-config grid, plus the
-# mutation self-test that proves the checker catches a seeded bug) and
-# the time-boxed differential fuzz smoke tier.
+# mutation self-test that proves the checker catches a seeded bug),
+# the time-boxed differential fuzz smoke tier, and the sharded-kernel
+# large-machine smoke (P=256 on 8 shards, byte-identical to
+# sequential).
 check: smoke
 	$(GO) test ./internal/check -v -run 'TestExhaustive|TestMutationCaught'
+	$(GO) test . -v -run 'TestShardedLargeP'
 
 # smoke is the differential fuzzer's CI tier: 200 seed-derived
 # workloads through all six engine families with the full-map oracle,
-# plus the mutant sensitivity test proving the harness catches a
-# seeded replacement bug. Budgeted at under a minute.
+# the mutant sensitivity test proving the harness catches a seeded
+# replacement bug, and the sharded-kernel determinism oracle (the same
+# 200 seeds, each shard-safe engine sequential vs 4 shards, bit-exact
+# cycles/memory/read digests). Budgeted at under a minute.
 smoke:
-	$(GO) test ./internal/fuzz -run 'TestSmokeDifferential|TestRegressionSeeds|TestFuzzCatchesMutant'
+	$(GO) test ./internal/fuzz -run 'TestSmokeDifferential|TestRegressionSeeds|TestFuzzCatchesMutant|TestShardedFuzzSmoke'
 
 # fuzz explores fresh seeds with the native fuzzing engine. Override
 # FUZZTIME for longer hunts; crashers land in testdata/fuzz/ as new
@@ -63,15 +68,23 @@ race:
 # bench runs the hot-path micro-benchmarks. Save the output before and
 # after a change and compare with cmd/benchdiff (or benchstat).
 bench:
-	$(GO) test -bench 'EngineScheduleRun|NetworkSend' -benchmem -run '^$$' ./internal/sim ./internal/network
+	$(GO) test -bench 'EngineScheduleRun|NetworkSend|ShardedScheduleRun' -benchmem -run '^$$' ./internal/sim ./internal/network
 
 # perf reruns the micro-benchmarks and diffs them against the newest
-# committed BENCH_PR*.json snapshot; exits nonzero past a 15% ns/op
-# regression. CI runs this warn-only — single-run numbers on shared
-# runners are noisy.
+# committed BENCH_PR*.json snapshot; exits nonzero past a 25% ns/op
+# regression. The gate is explicit in CI (no continue-on-error): the
+# threshold is sized so shared-runner noise stays under it while real
+# hot-path regressions trip it.
 perf:
-	$(GO) test -bench 'EngineScheduleRun|NetworkSend' -benchmem -run '^$$' ./internal/sim ./internal/network > bench.out
-	$(GO) run ./cmd/benchdiff -gate -threshold 0.15 $$(ls BENCH_PR*.json | sort -V | tail -1) bench.out
+	$(GO) test -bench 'EngineScheduleRun|NetworkSend|ShardedScheduleRun' -benchmem -run '^$$' ./internal/sim ./internal/network > bench.out
+	$(GO) run ./cmd/benchdiff -gate -threshold 0.25 $$(ls BENCH_PR*.json | sort -V | tail -1) bench.out
+
+# perf-shards measures the parallel kernel's wall-clock scaling: the
+# P=64 full-map experiment, sequential vs 1/2/4/8 worker shards.
+# Speedup needs real cores — on a single-CPU box the sharded runs show
+# only the coordination overhead.
+perf-shards:
+	$(GO) test -bench 'ShardedExperiment' -benchmem -run '^$$' .
 
 # sweep times the default experiment grid end to end.
 sweep:

@@ -518,3 +518,27 @@ func BenchmarkAblationHomeMapping(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkShardedExperiment times the P=64 full-map experiment end to
+// end, sequential and on 1/2/4/8 worker shards (`make perf-shards`).
+// The sharded entries only show speedup when real cores are available:
+// on a single-CPU machine they measure pure coordination overhead,
+// which is the honest lower bound to report alongside multi-core runs.
+func BenchmarkShardedExperiment(b *testing.B) {
+	run := func(b *testing.B, shards int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := RunExperiment(Experiment{App: "fft", Protocol: "fm", Procs: 64, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Cycles == 0 {
+				b.Fatal("zero-cycle run")
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 0) })
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) { run(b, s) })
+	}
+}

@@ -1,10 +1,14 @@
 // Command sweep runs a grid of experiments and emits one CSV row per
 // run, for spreadsheet analysis or plotting.
 //
-// The grid runs on a worker pool (-j, default all cores). Each
-// experiment owns its simulation engine, so results are identical to a
-// sequential run, and rows are emitted in grid order regardless of
-// which experiment finishes first.
+// The grid runs on a worker pool (-j). Each experiment owns its
+// simulation engine, so results are identical to a sequential run, and
+// rows are emitted in grid order regardless of which experiment
+// finishes first. -shards additionally parallelizes INSIDE each
+// eligible experiment with the deterministic time-windowed kernel
+// (results stay byte-identical at every shard count); -j defaults to
+// GOMAXPROCS/shards so the two levels multiply into roughly the
+// machine's core count instead of oversubscribing it.
 //
 // When stderr is a terminal (or -progress is given), a live
 // completed/total line with per-experiment wall times is printed to
@@ -17,6 +21,7 @@
 //	sweep                                        # default grid
 //	sweep -apps floyd,fft -schemes fm,T4 -procs 8,32 -full
 //	sweep -topologies hypercube,torus,bus -j 8
+//	sweep -procs 64,256 -shards 8 -j 1           # big machines: parallelize inside the run
 //	sweep -trace-dir traces -timeseries-dir ts   # per-experiment exports
 //	sweep -attrib attrib.csv -attrib-json attrib.json
 //	sweep -http :8080                            # live telemetry
@@ -44,7 +49,8 @@ func main() {
 	topologies := flag.String("topologies", "hypercube", "comma-separated interconnects")
 	full := flag.Bool("full", false, "paper-scale workload parameters")
 	check := flag.Bool("check", false, "enable the coherence monitor")
-	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run in parallel")
+	jobs := flag.Int("j", 0, "experiments to run in parallel (0 = GOMAXPROCS/shards, min 1)")
+	shards := flag.Int("shards", 1, "worker shards inside each experiment (deterministic; >1 uses the parallel kernel where eligible)")
 	progress := flag.Bool("progress", false, "force live progress on stderr even when it is not a terminal")
 	traceDir := flag.String("trace-dir", "", "write one Chrome trace-event JSON per experiment into this directory")
 	tsDir := flag.String("timeseries-dir", "", "write one time-series CSV per experiment into this directory")
@@ -55,6 +61,25 @@ func main() {
 	attribJSONOut := flag.String("attrib-json", "", "write per-experiment latency-attribution JSON to this file")
 	httpAddr := flag.String("http", "", "serve live sweep telemetry on this address (e.g. :8080)")
 	flag.Parse()
+
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -shards must be at least 1 (got %d)\n", *shards)
+		os.Exit(1)
+	}
+	// Two multiplicative levels of parallelism: -j experiments, each up
+	// to -shards OS threads. Default -j so j*shards ~ GOMAXPROCS; an
+	// explicit -j wins, with a warning when the product oversubscribes
+	// the machine (everything still completes, just slower per run).
+	if *jobs <= 0 {
+		*jobs = runtime.GOMAXPROCS(0) / *shards
+		if *jobs < 1 {
+			*jobs = 1
+		}
+	}
+	if *jobs**shards > runtime.GOMAXPROCS(0) {
+		fmt.Fprintf(os.Stderr, "sweep: warning: -j %d x -shards %d = %d workers oversubscribes %d CPUs\n",
+			*jobs, *shards, *jobs**shards, runtime.GOMAXPROCS(0))
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*procsFlag, ",") {
@@ -106,6 +131,7 @@ func main() {
 					exps = append(exps, dircc.Experiment{
 						App: app, Protocol: scheme, Procs: procs,
 						Full: *full, Check: *check, Topology: topo,
+						Shards: *shards,
 					})
 				}
 			}
@@ -179,8 +205,7 @@ func main() {
 
 	results := dircc.RunExperimentsLive(context.Background(), exps, *jobs, onStart, onDone)
 
-	fmt.Println("app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
-		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles")
+	fmt.Println(dircc.SweepCSVHeader())
 	failed := false
 	var baseline uint64 // fm cycles of the current (app, topology, procs) group
 	for i, res := range results {
@@ -210,12 +235,7 @@ func main() {
 		if hasFM && baseline != 0 {
 			norm = float64(r.Cycles) / float64(baseline)
 		}
-		c := r.Counters
-		fmt.Printf("%s,%s,%d,%s,%d,%.4f,%d,%d,%d,%d,%.5f,%d,%d,%d,%d,%.1f,%.1f\n",
-			exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"), r.Cycles, norm,
-			c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
-			c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
-			c.AvgReadMissLatency(), c.AvgWriteMissLatency())
+		fmt.Println(r.SweepCSVRow(norm))
 		if err := dircc.WriteExports(exp, r, *traceDir, *tsDir); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			failed = true

@@ -1,0 +1,33 @@
+package dircc
+
+import "fmt"
+
+// The sweep CSV format lives here — rather than inside cmd/sweep — so
+// the byte-identity regression tests (TestSweepGolden,
+// TestShardedDeterministic) pin exactly the rows users see: any drift
+// in either the simulator's results or the rendering breaks the golden
+// comparison.
+
+// SweepCSVHeader returns the header line of the sweep CSV emitted by
+// cmd/sweep.
+func SweepCSVHeader() string {
+	return "app,scheme,procs,topology,cycles,normalized,messages,bytes,read_misses,write_misses," +
+		"miss_ratio,invalidations,replace_invs,writebacks,replacements,avg_read_miss_cycles,avg_write_miss_cycles"
+}
+
+// SweepCSVRow renders the result as one sweep CSV row. normalized is
+// this run's cycle count divided by the full-map baseline at the same
+// (app, topology, procs) point; pass NaN when there is no baseline.
+func (r *Result) SweepCSVRow(normalized float64) string {
+	exp := r.Experiment
+	topo := exp.Topology
+	if topo == "" {
+		topo = "hypercube"
+	}
+	c := r.Counters
+	return fmt.Sprintf("%s,%s,%d,%s,%d,%.4f,%d,%d,%d,%d,%.5f,%d,%d,%d,%d,%.1f,%.1f",
+		exp.App, exp.Protocol, exp.Procs, topo, r.Cycles, normalized,
+		c.Messages, c.Bytes, c.ReadMisses, c.WriteMisses, c.MissRatio(),
+		c.Invalidations, c.ReplaceInvs, c.Writebacks, c.Replacements,
+		c.AvgReadMissLatency(), c.AvgWriteMissLatency())
+}

@@ -48,6 +48,15 @@ type Experiment struct {
 	// HomePageBlocks selects the home-mapping granularity (see
 	// coherent.Config.HomePageBlocks).
 	HomePageBlocks int
+	// Shards runs the simulation on the time-windowed parallel kernel
+	// (sim.Sharded) with this many worker lanes. Results are
+	// byte-identical to the sequential engine at every shard count.
+	// 0 or 1 selects the sequential kernel. Values above 1 apply only
+	// when the run is eligible — the protocol engine is shard-safe and
+	// the run uses no checker, no observability probes, and no
+	// memory-resident locks — and silently fall back to the sequential
+	// kernel otherwise, so sweeps can set Shards unconditionally.
+	Shards int
 	// Obs selects observability instruments for the run; nil (the
 	// default) disables all probing, preserving the allocation-free hot
 	// path and bit-identical statistics.
@@ -146,7 +155,7 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 4_000_000_000
 	}
-	m, err := newMachineFor(cfg, eng, exp.Topology)
+	m, err := newMachineFor(cfg, eng, exp.Topology, exp.effectiveShards(eng))
 	if err != nil {
 		return nil, err
 	}
@@ -167,11 +176,35 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	return &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr, Probe: probe, Attrib: col}, nil
 }
 
-// newMachineFor builds a machine on the named interconnect.
-func newMachineFor(cfg Config, eng Engine, topoName string) (*Machine, error) {
+// effectiveShards decides the shard count a run actually uses:
+// exp.Shards when the run is eligible for the parallel kernel, 1
+// otherwise. Eligibility mirrors the sharded machine's restrictions —
+// a shard-safe engine, no checker, no observability probes, and no
+// memory-resident locks (whose ticket arbitration is global state the
+// lanes would contend on). Ineligible runs fall back to the sequential
+// kernel, which produces the same results anyway.
+func (exp Experiment) effectiveShards(eng Engine) int {
+	if exp.Shards <= 1 {
+		return 1
+	}
+	if exp.Check || exp.MemLocks || exp.Obs != nil {
+		return 1
+	}
+	if ss, ok := eng.(coherent.ShardSafe); !ok || !ss.ShardSafeEngine() {
+		return 1
+	}
+	return exp.Shards
+}
+
+// newMachineFor builds a machine on the named interconnect, simulated
+// by the sequential kernel (shards <= 1) or the time-windowed parallel
+// kernel.
+func newMachineFor(cfg Config, eng Engine, topoName string, shards int) (*Machine, error) {
+	var topo topology.Topology
+	var err error
 	switch topoName {
 	case "", "hypercube":
-		return NewMachine(cfg, eng)
+		topo, err = topology.HypercubeForNodes(cfg.Procs)
 	case "torus", "mesh":
 		// Smallest near-square k-ary 2-cube with at least Procs nodes.
 		k := 1
@@ -181,20 +214,19 @@ func newMachineFor(cfg Config, eng Engine, topoName string) (*Machine, error) {
 		if k < 2 {
 			k = 2
 		}
-		topo, err := topology.NewKaryNCube(k, 2)
-		if err != nil {
-			return nil, err
-		}
-		return coherent.NewMachineOn(cfg, eng, topo)
+		topo, err = topology.NewKaryNCube(k, 2)
 	case "bus":
-		topo, err := topology.NewBus(cfg.Procs)
-		if err != nil {
-			return nil, err
-		}
-		return coherent.NewMachineOn(cfg, eng, topo)
+		topo, err = topology.NewBus(cfg.Procs)
 	default:
 		return nil, fmt.Errorf("dircc: unknown topology %q (hypercube, torus, bus)", topoName)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if shards > 1 {
+		return coherent.NewShardedMachineOn(cfg, eng, topo, shards)
+	}
+	return coherent.NewMachineOn(cfg, eng, topo)
 }
 
 // RecordTrace runs an experiment execution-driven while recording every

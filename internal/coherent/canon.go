@@ -51,10 +51,10 @@ type ShapeChecker interface {
 // Canon renders msg deterministically, covering every field that can
 // influence delivery behavior (probe bookkeeping excluded).
 func (msg *Msg) Canon() string {
-	return fmt.Sprintf("%s %d>%d b%d r%d a%d p%v hd%v d%d w%v at%d ad%v sb%v sw%v td%v g%v",
+	return fmt.Sprintf("%s %d>%d b%d r%d a%d p%v hd%v d%d w%v at%d ad%v sb%v sw%v td%v g%v rh%v",
 		msg.Type, msg.Src, msg.Dst, msg.Block, msg.Requester, msg.Aux, msg.Ptrs,
 		msg.HasData, msg.Data, msg.Write, msg.AckTo, msg.AckDir, msg.SibAck,
-		msg.SelfWave, msg.ToDir, msg.Gated)
+		msg.SelfWave, msg.ToDir, msg.Gated, msg.RelHome)
 }
 
 // CanonState writes a canonical rendering of the machine: cache
@@ -77,31 +77,33 @@ func (m *Machine) CanonState(w io.Writer) {
 		})
 		fmt.Fprintln(w)
 	}
-	for n, txns := range m.txns {
-		blocks := sortedBlocks(txns)
-		for _, b := range blocks {
-			txn := txns[b]
-			fmt.Fprintf(w, "txn n%d b%d w%v v%d served%v rmw%v def[", n, b, txn.Write, txn.Value, txn.Served, txn.RMW != nil)
+	for n := range m.txns {
+		for _, txn := range m.nodeTxns(NodeID(n)) {
+			fmt.Fprintf(w, "txn n%d b%d w%v v%d served%v rmw%v def[", n, txn.Block, txn.Write, txn.Value, txn.Served, txn.RMW != nil)
 			for _, d := range txn.Deferred {
 				fmt.Fprintf(w, "{%s}", d.Canon())
 			}
 			fmt.Fprintf(w, "] scratch=%v\n", txn.Scratch)
 		}
 	}
-	gateBlocks := sortedBlocks(m.gates)
-	for _, b := range gateBlocks {
-		g := m.gates[b]
-		fmt.Fprintf(w, "gate b%d busy%v q[", b, g.busy)
-		for _, q := range g.queue {
-			fmt.Fprintf(w, "{%s}", q.Canon())
+	for home := range m.gates {
+		gateBlocks := sortedBlocks(m.gates[home])
+		for _, b := range gateBlocks {
+			g := m.gates[home][b]
+			fmt.Fprintf(w, "gate b%d busy%v q[", b, g.busy)
+			for _, q := range g.queue {
+				fmt.Fprintf(w, "{%s}", q.Canon())
+			}
+			fmt.Fprintln(w, "]")
 		}
-		fmt.Fprintln(w, "]")
 	}
-	curBlocks := sortedBlocks(m.Store.cur)
-	for _, b := range curBlocks {
+	for b := range m.Store.touched {
+		if !m.Store.touched[b] {
+			continue
+		}
 		fmt.Fprintf(w, "mem b%d=%d", b, m.Store.cur[b])
-		if old, busy := m.Store.prevDuringWrite[b]; busy {
-			fmt.Fprintf(w, " (pre-write %d)", old)
+		if m.Store.busy[b] {
+			fmt.Fprintf(w, " (pre-write %d)", m.Store.prev[b])
 		}
 		fmt.Fprintln(w)
 	}

@@ -54,7 +54,7 @@ func (f *fakeEngine) HomeRequest(m *Machine, msg *Msg) {
 			Requester: msg.Requester, HasData: true, Aux: NoNode})
 		return
 	}
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&Msg{Type: MsgDataReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: NoNode})
 		m.ReleaseHome(b)

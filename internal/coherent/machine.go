@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"dircc/internal/cache"
 	"dircc/internal/network"
@@ -97,6 +98,12 @@ type Txn struct {
 	RMW    func(old uint64) uint64
 	rmwOld uint64
 
+	// homeCommit marks that this write's CommitWrite rides the home's
+	// gate-release companion event (a RelHome reply granted it), so
+	// CompleteTxn must not commit from the requester's lane — the
+	// store is home-owned state.
+	homeCommit bool
+
 	done func(uint64)
 }
 
@@ -108,6 +115,10 @@ type Node struct {
 
 // Machine is the simulated multiprocessor.
 type Machine struct {
+	// Eng is the sequential event kernel; nil when the machine runs on
+	// the sharded engine (shard non-nil). Use the scheduling façade
+	// (Now, ScheduleAt, ScheduleGlobal, GlobalOpAt) instead of touching
+	// either kernel directly — the façade routes to whichever is live.
 	Eng   *sim.Engine
 	Net   *network.Network
 	Topo  topology.Topology
@@ -123,18 +134,44 @@ type Machine struct {
 
 	proto Engine
 
-	// txns holds the outstanding transactions per node, keyed by block.
-	// The paper's strong consistency model uses one per node; the
-	// write-buffer relaxation (proc.Config.WriteBuffer) allows one read
-	// plus one write in flight concurrently, always on distinct blocks.
-	txns []map[BlockID]*Txn
+	// shard is the time-windowed parallel kernel, non-nil when the
+	// machine was built with NewShardedMachineOn. Exactly one of Eng
+	// and shard is non-nil.
+	shard *sim.Sharded
 
-	// gates serialize home processing per block.
-	gates map[BlockID]*gate
+	// sched is the kernel behind Eng or shard, as the node-addressed
+	// scheduling surface the network delivers through.
+	sched sim.NodeScheduler
 
-	// dir holds engine-owned per-block directory state, keyed globally
-	// (the home node is implied by the block id).
-	dir map[BlockID]any
+	// laneCtrs are per-lane counter sinks under the sharded engine
+	// (CtrAt routes node-side increments here); quiesce folds them
+	// into Ctr in lane order. Nil on sequential machines.
+	laneCtrs []*stats.Counters
+
+	// sendLogs are the per-lane message mailboxes: messages sent during
+	// a parallel phase are appended here and replayed through the
+	// network — in the global deterministic (at, seq) order — by
+	// ReplaySend. Nil on sequential machines.
+	sendLogs [][]*Msg
+
+	// txns holds the outstanding transactions per node in fixed slot
+	// arrays. The paper's strong consistency model uses one per node;
+	// the write-buffer relaxation (proc.Config.WriteBuffer) allows one
+	// read plus one write in flight concurrently, always on distinct
+	// blocks. Slots are atomic pointers because the home's lane reads a
+	// requester's transaction (SerializeWrite) while the requester's
+	// lane may be installing an unrelated one; the protocol's message
+	// causality plus the round barrier order all same-transaction
+	// accesses, so the pointed-to Txn needs no further synchronization.
+	txns [][]atomic.Pointer[Txn]
+
+	// gates serialize home processing per block, held in per-home-node
+	// maps so only the home's lane ever touches a map's internals.
+	gates []map[BlockID]*gate
+
+	// dir holds engine-owned per-block directory state in per-home-node
+	// maps (the home node is implied by the block id).
+	dir []map[BlockID]any
 
 	// allocTop is the next free byte of the shared address space.
 	allocTop uint64
@@ -146,6 +183,11 @@ type Machine struct {
 	// and explore every delivery order.
 	sendHook func(msg *Msg, deliver func())
 }
+
+// txnSlots bounds concurrently outstanding transactions per node: one
+// read plus one write under the write-buffer relaxation, with headroom
+// for checker-driven schedules.
+const txnSlots = 4
 
 type gate struct {
 	busy  bool
@@ -170,47 +212,262 @@ func NewMachine(cfg Config, proto Engine) (*Machine, error) {
 // NewMachineOn builds a machine over an explicit topology, which must
 // have at least cfg.Procs nodes.
 func NewMachineOn(cfg Config, proto Engine, topo topology.Topology) (*Machine, error) {
+	return newMachine(cfg, proto, topo, 1)
+}
+
+// NewShardedMachine builds a machine over a hypercube that simulates on
+// the time-windowed parallel kernel with the given shard count. See
+// NewShardedMachineOn for the restrictions.
+func NewShardedMachine(cfg Config, proto Engine, shards int) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("coherent: nil protocol engine")
+	}
+	topo, err := topology.HypercubeForNodes(cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return NewShardedMachineOn(cfg, proto, topo, shards)
+}
+
+// NewShardedMachineOn builds a machine whose simulation runs on
+// sim.Sharded with the given shard count, partitioning the nodes
+// across worker lanes. Results — cycle counts, counters, memory and
+// cache contents — are byte-identical to the sequential machine at
+// every shard count. shards <= 1 builds a plain sequential machine.
+//
+// Restrictions: the protocol engine must declare itself shard-safe
+// (ShardSafe interface), and checked runs (Cfg.Check) are not
+// supported — the monitor inspects all caches at completion events,
+// which is inherently cross-lane. Callers wanting the differential
+// oracle run the same experiment sequentially instead.
+func NewShardedMachineOn(cfg Config, proto Engine, topo topology.Topology, shards int) (*Machine, error) {
+	if shards > 1 && cfg.Check {
+		return nil, fmt.Errorf("coherent: checked runs require the sequential engine")
+	}
+	return newMachine(cfg, proto, topo, shards)
+}
+
+// ShardSafe marks protocol engines whose handlers respect lane
+// affinity: every handler touches only the dispatched node's caches
+// and lines, its home's directory/gate state, and cross-node state
+// reachable through the machine's synchronized surfaces (Txn slots,
+// the Store, counters via CtrAt). Engines that splice peer nodes'
+// per-line metadata directly (the list and tree families) must not
+// implement it.
+type ShardSafe interface {
+	// ShardSafeEngine returns true when the engine may run under
+	// sim.Sharded. It exists (rather than a bare marker) so wrapper
+	// engines can delegate the decision.
+	ShardSafeEngine() bool
+}
+
+func newMachine(cfg Config, proto Engine, topo topology.Topology, shards int) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("coherent: nil protocol engine")
 	}
 	if topo.Nodes() < cfg.Procs {
 		return nil, fmt.Errorf("coherent: topology %s has %d nodes, need %d",
 			topo.Name(), topo.Nodes(), cfg.Procs)
 	}
-	eng := sim.NewEngine()
-	eng.MaxEvents = cfg.MaxEvents
-	ctr := stats.NewCounters()
-	net, err := network.New(eng, topo, cfg.Net, ctr)
-	if err != nil {
-		return nil, err
+	if shards > 1 {
+		if ss, ok := proto.(ShardSafe); !ok || !ss.ShardSafeEngine() {
+			return nil, fmt.Errorf("coherent: protocol %s is not shard-safe", proto.Name())
+		}
 	}
+	ctr := stats.NewCounters()
 	m := &Machine{
-		Eng:   eng,
-		Net:   net,
 		Topo:  topo,
 		Cfg:   cfg,
 		Ctr:   ctr,
 		Store: NewStore(),
 		proto: proto,
-		txns:  make([]map[BlockID]*Txn, cfg.Procs),
-		gates: make(map[BlockID]*gate),
-		dir:   make(map[BlockID]any),
+		txns:  make([][]atomic.Pointer[Txn], cfg.Procs),
+		gates: make([]map[BlockID]*gate, cfg.Procs),
+		dir:   make([]map[BlockID]any, cfg.Procs),
 	}
+	var sched sim.NodeScheduler
+	if shards > 1 {
+		sh := sim.NewSharded(cfg.Procs, shards)
+		sh.MaxEvents = cfg.MaxEvents
+		sh.SetReplayer(m)
+		m.shard = sh
+		m.laneCtrs = make([]*stats.Counters, sh.Shards())
+		for i := range m.laneCtrs {
+			m.laneCtrs[i] = stats.NewCounters()
+		}
+		m.sendLogs = make([][]*Msg, sh.Shards())
+		sched = sh
+	} else {
+		eng := sim.NewEngine()
+		eng.MaxEvents = cfg.MaxEvents
+		m.Eng = eng
+		sched = eng
+	}
+	m.sched = sched
+	net, err := network.New(sched, topo, cfg.Net, ctr)
+	if err != nil {
+		return nil, err
+	}
+	m.Net = net
 	for i := 0; i < cfg.Procs; i++ {
 		m.Nodes = append(m.Nodes, &Node{
 			ID:    NodeID(i),
 			Cache: cache.MustNew(cfg.CacheSets, cfg.CacheAssoc()),
 		})
-		m.txns[i] = make(map[BlockID]*Txn, 2)
+		m.txns[i] = make([]atomic.Pointer[Txn], txnSlots)
+		m.gates[i] = make(map[BlockID]*gate)
+		m.dir[i] = make(map[BlockID]any)
 	}
 	if cfg.Check {
 		m.Mon = NewMonitor(m)
 	}
+	if p, ok := proto.(Preparer); ok {
+		p.Prepare(m)
+	}
 	return m, nil
+}
+
+// Preparer is implemented by protocol engines that bind to their
+// machine at construction — typically to keep per-block directory
+// records in the machine's per-home-node dir storage (Dir/SetDir),
+// which is what makes an engine's state lane-local under the sharded
+// kernel.
+type Preparer interface {
+	Prepare(m *Machine)
 }
 
 // Protocol returns the attached engine.
 func (m *Machine) Protocol() Engine { return m.proto }
+
+// Shards returns the number of worker lanes the simulation runs on (1
+// for the sequential engine).
+func (m *Machine) Shards() int {
+	if m.shard != nil {
+		return m.shard.Shards()
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------
+// Scheduling façade
+//
+// Every machine-internal and protocol-engine scheduling decision goes
+// through these four methods, which encode the sharded engine's node
+// affinity contract. On a sequential machine they degrade to exactly
+// the pre-sharding behavior (same kernel calls, same seq allocation),
+// so sequential results are bit-for-bit unchanged.
+// ---------------------------------------------------------------------
+
+// Now returns the current simulated time.
+func (m *Machine) Now() sim.Time {
+	if m.shard != nil {
+		return m.shard.Now()
+	}
+	return m.Eng.Now()
+}
+
+// ScheduleAt schedules fn after delay cycles on node n's lane. fn may
+// touch only state owned by n's lane (n's caches and transactions, and
+// — when n is a home — its gates and directory entries).
+func (m *Machine) ScheduleAt(n NodeID, delay sim.Time, fn func()) {
+	if m.shard != nil {
+		m.shard.ScheduleNode(int(n), delay, fn)
+		return
+	}
+	m.Eng.Schedule(delay, fn)
+}
+
+// ScheduleGlobal schedules fn after delay cycles as a global event: it
+// runs single-threaded between parallel phases and may touch any
+// state. Never call it from inside a node event on a sharded machine
+// (use GlobalOpAt there).
+func (m *Machine) ScheduleGlobal(delay sim.Time, fn func()) {
+	if m.shard != nil {
+		m.shard.ScheduleGlobal(delay, fn)
+		return
+	}
+	m.Eng.Schedule(delay, fn)
+}
+
+// GlobalOpAt runs fn — an operation on cross-lane shared state, issued
+// by the event currently executing at node n — at the current instant.
+// On a sequential machine it is a plain call; on a sharded machine fn
+// is deferred to the replay step, where it runs single-threaded in the
+// deterministic global order.
+func (m *Machine) GlobalOpAt(n NodeID, fn func()) {
+	if m.shard != nil {
+		m.shard.GlobalOp(int(n), fn)
+		return
+	}
+	fn()
+}
+
+// CtrAt returns the counter sink for an event executing at node n: the
+// machine counters on a sequential machine, the lane-local sink on a
+// sharded one (folded into Ctr in deterministic lane order at
+// quiesce).
+func (m *Machine) CtrAt(n NodeID) *stats.Counters {
+	if m.laneCtrs != nil {
+		return m.laneCtrs[m.shard.LaneOf(int(n))]
+	}
+	return m.Ctr
+}
+
+// ReplaySend implements sim.SendReplayer: it injects the idx-th
+// deferred message of the given lane's mailbox into the network, in
+// the deterministic global order the sharded kernel derives from the
+// parallel phase. Exhausting a mailbox resets it for the next phase.
+func (m *Machine) ReplaySend(lane, idx int) {
+	msg := m.sendLogs[lane][idx]
+	m.sendLogs[lane][idx] = nil
+	if idx == len(m.sendLogs[lane])-1 {
+		m.sendLogs[lane] = m.sendLogs[lane][:0]
+	}
+	m.sendNow(msg)
+}
+
+// sendNow injects msg into the network model. For RelHome messages it
+// also schedules the write commit and home-gate release as a companion
+// event at the delivery instant, consuming the sequence number right
+// after the delivery's: both are then ordered exactly where the
+// receiving handler used to perform them inline — after the delivery,
+// before any other same-instant event — while executing on the home's
+// own lane, never the receiver's. (CommitWrite must ride the
+// companion, not CompleteTxn: the store's in-flight flags are
+// home-owned state, and the requester's lane mutating them would race
+// with the home lane admitting the next queued writer.)
+func (m *Machine) sendNow(msg *Msg) {
+	arrive := m.Net.Send(msg.Type.String(), msg.Src, msg.Dst, msg.Bytes(m.Cfg), func() {
+		m.markHomeCommit(msg)
+		m.dispatch(msg)
+	})
+	if msg.RelHome {
+		b := msg.Block
+		m.sched.AtNode(int(m.Home(b)), arrive, func() {
+			m.Store.CommitWrite(b)
+			m.ReleaseHome(b)
+		})
+	}
+}
+
+// markHomeCommit flags the receiver's write transaction, just before a
+// RelHome reply is dispatched, that its commit happens on the home's
+// companion event rather than in CompleteTxn. It runs on the
+// receiver's lane and touches only the receiver's transaction slot.
+func (m *Machine) markHomeCommit(msg *Msg) {
+	if !msg.RelHome {
+		return
+	}
+	if txn := m.Txn(msg.Requester, msg.Block); txn != nil && txn.Write {
+		txn.homeCommit = true
+	}
+}
 
 // ---------------------------------------------------------------------
 // Observability
@@ -221,9 +478,18 @@ func (m *Machine) Protocol() Engine { return m.proto }
 // reports transport timing. A watchdog without a dump function gets
 // the machine's state dump. Call before running the workload.
 func (m *Machine) AttachProbe(p *obs.Probe) {
+	if m.shard != nil && p != nil {
+		// The probe contract is a single totally-ordered event stream;
+		// the sharded kernel's parallel phases would interleave it.
+		// Observability runs ride the sequential engine (RunExperiment
+		// falls back automatically).
+		panic("coherent: observability requires the sequential engine")
+	}
 	m.Probe = p
 	if p == nil {
-		m.Eng.SetProbe(nil)
+		if m.Eng != nil {
+			m.Eng.SetProbe(nil)
+		}
 		m.Net.SetProbe(nil)
 		return
 	}
@@ -257,14 +523,14 @@ func (m *Machine) Tracing() bool { return m.Probe != nil && m.Probe.Trace != nil
 // when the label requires formatting.
 func (m *Machine) TraceDir(b BlockID, label string) {
 	if m.Probe != nil {
-		m.Probe.DirState(uint64(m.Eng.Now()), int(m.Home(b)), uint64(b), label)
+		m.Probe.DirState(uint64(m.Now()), int(m.Home(b)), uint64(b), label)
 	}
 }
 
 // TraceState records a cache-line state transition at node n.
 func (m *Machine) TraceState(n NodeID, b BlockID, from, to cache.State) {
 	if m.Probe != nil {
-		m.Probe.CacheState(uint64(m.Eng.Now()), int(n), uint64(b), from.String(), to.String())
+		m.Probe.CacheState(uint64(m.Now()), int(n), uint64(b), from.String(), to.String())
 	}
 }
 
@@ -274,7 +540,7 @@ func (m *Machine) TraceState(n NodeID, b BlockID, from, to cache.State) {
 func (m *Machine) Invalidate(n NodeID, b BlockID) (cache.State, bool) {
 	st, ok := m.Nodes[n].Cache.Invalidate(b)
 	if ok && m.Probe != nil {
-		m.Probe.CacheState(uint64(m.Eng.Now()), int(n), uint64(b), st.String(), cache.Invalid.String())
+		m.Probe.CacheState(uint64(m.Now()), int(n), uint64(b), st.String(), cache.Invalid.String())
 	}
 	return st, ok
 }
@@ -285,32 +551,28 @@ func (m *Machine) Invalidate(n NodeID, b BlockID) (cache.State, bool) {
 // watchdog invokes it when it fires.
 func (m *Machine) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "machine state at cycle %d (%s, %d procs): %d messages in flight\n",
-		m.Eng.Now(), m.proto.Name(), m.Cfg.Procs, m.Net.InFlight())
+		m.Now(), m.proto.Name(), m.Cfg.Procs, m.Net.InFlight())
 	blocks := make(map[BlockID]bool)
-	for n, txns := range m.txns {
-		keys := make([]BlockID, 0, len(txns))
-		for b := range txns {
-			keys = append(keys, b)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, b := range keys {
-			txn := txns[b]
+	for n := range m.txns {
+		for _, txn := range m.nodeTxns(NodeID(n)) {
 			kind := "read"
 			if txn.Write {
 				kind = "write"
 			}
 			fmt.Fprintf(w, "  node %d: outstanding %s on block %d (issued %d, served=%v, %d deferred)\n",
-				n, kind, b, txn.Issued, txn.Served, len(txn.Deferred))
-			blocks[b] = true
+				n, kind, txn.Block, txn.Issued, txn.Served, len(txn.Deferred))
+			blocks[txn.Block] = true
 		}
 	}
-	gateBlocks := make([]BlockID, 0, len(m.gates))
-	for b := range m.gates {
-		gateBlocks = append(gateBlocks, b)
+	var gateBlocks []BlockID
+	for _, gates := range m.gates {
+		for b := range gates {
+			gateBlocks = append(gateBlocks, b)
+		}
 	}
 	sort.Slice(gateBlocks, func(i, j int) bool { return gateBlocks[i] < gateBlocks[j] })
 	for _, b := range gateBlocks {
-		g := m.gates[b]
+		g := m.gates[m.Home(b)][b]
 		if !g.busy && len(g.queue) == 0 {
 			continue
 		}
@@ -331,8 +593,8 @@ func (m *Machine) DumpState(w io.Writer) {
 		switch {
 		case bd != nil:
 			fmt.Fprintf(w, "  dir block %d (home %d): %s\n", b, m.Home(b), bd.DescribeBlock(b))
-		case m.dir[b] != nil:
-			fmt.Fprintf(w, "  dir block %d (home %d): %v\n", b, m.Home(b), m.dir[b])
+		case m.Dir(b) != nil:
+			fmt.Fprintf(w, "  dir block %d (home %d): %v\n", b, m.Home(b), m.Dir(b))
 		}
 	}
 }
@@ -367,17 +629,95 @@ func (m *Machine) Alloc(n uint64) uint64 {
 	return base
 }
 
-// Dir returns the engine-owned directory entry for b, or nil.
-func (m *Machine) Dir(b BlockID) any { return m.dir[b] }
+// Dir returns the engine-owned directory entry for b, or nil. Only
+// b's home may hold directory state, so the entry lives in the home's
+// per-node map (lane-local under the sharded engine).
+func (m *Machine) Dir(b BlockID) any { return m.dir[m.Home(b)][b] }
 
 // SetDir stores the engine-owned directory entry for b.
-func (m *Machine) SetDir(b BlockID, v any) { m.dir[b] = v }
+func (m *Machine) SetDir(b BlockID, v any) {
+	home := m.Home(b)
+	if v == nil {
+		delete(m.dir[home], b)
+		return
+	}
+	m.dir[home][b] = v
+}
+
+// DirBlocks returns every block holding directory state, sorted —
+// deterministic iteration for canonical dumps. Call from quiesced
+// (single-threaded) contexts.
+func (m *Machine) DirBlocks() []BlockID {
+	var out []BlockID
+	for _, dm := range m.dir {
+		for b := range dm {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Txn returns node n's outstanding transaction on block b, or nil.
-func (m *Machine) Txn(n NodeID, b BlockID) *Txn { return m.txns[n][b] }
+func (m *Machine) Txn(n NodeID, b BlockID) *Txn {
+	slots := m.txns[n]
+	for i := range slots {
+		if t := slots[i].Load(); t != nil && t.Block == b {
+			return t
+		}
+	}
+	return nil
+}
+
+// putTxn installs txn in a free slot of its node.
+func (m *Machine) putTxn(txn *Txn) {
+	slots := m.txns[txn.Node]
+	for i := range slots {
+		if slots[i].Load() == nil {
+			slots[i].Store(txn)
+			return
+		}
+	}
+	panic(fmt.Sprintf("coherent: node %d exceeded %d outstanding transactions", txn.Node, txnSlots))
+}
+
+// delTxn removes txn from its node's slots.
+func (m *Machine) delTxn(txn *Txn) {
+	slots := m.txns[txn.Node]
+	for i := range slots {
+		if slots[i].Load() == txn {
+			slots[i].Store(nil)
+			return
+		}
+	}
+	panic(fmt.Sprintf("coherent: delTxn for node %d found no matching slot", txn.Node))
+}
+
+// nodeTxns returns node n's outstanding transactions ordered by block
+// (deterministic iteration for dumps and canonical state).
+func (m *Machine) nodeTxns(n NodeID) []*Txn {
+	var out []*Txn
+	slots := m.txns[n]
+	for i := range slots {
+		if t := slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
+	return out
+}
 
 // Outstanding returns the number of transactions node n has in flight.
-func (m *Machine) Outstanding(n NodeID) int { return len(m.txns[n]) }
+func (m *Machine) Outstanding(n NodeID) int {
+	c := 0
+	slots := m.txns[n]
+	for i := range slots {
+		if slots[i].Load() != nil {
+			c++
+		}
+	}
+	return c
+}
 
 // ---------------------------------------------------------------------
 // Processor interface
@@ -389,36 +729,37 @@ func (m *Machine) Outstanding(n NodeID) int { return len(m.txns[n]) }
 // Access panics, because it indicates a broken processor model.
 func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done func(uint64)) {
 	b := m.BlockOf(addr)
-	if m.txns[n][b] != nil {
+	if m.Txn(n, b) != nil {
 		panic(fmt.Sprintf("coherent: node %d issued a second outstanding reference on block %d", n, b))
 	}
 	node := m.Nodes[n]
 	ln := node.Cache.Lookup(b)
 
+	ctr := m.CtrAt(n)
 	if write {
-		m.Ctr.Writes++
+		ctr.Writes++
 	} else {
-		m.Ctr.Reads++
+		ctr.Reads++
 	}
 
 	// Hit paths. A write hits only on an Exclusive copy (a Valid copy
 	// needs an ownership upgrade, which the paper treats as a write
 	// miss served with fresh data from home).
 	if ln != nil && !write && ln.State != cache.Invalid {
-		m.Ctr.ReadHits++
+		ctr.ReadHits++
 		node.Cache.Touch(ln)
 		v := ln.Val
 		if m.Mon != nil {
 			m.Mon.OnReadHit(n, b, v)
 		}
 		if m.Probe != nil {
-			m.Probe.Progress(uint64(m.Eng.Now()))
+			m.Probe.Progress(uint64(m.Now()))
 		}
-		m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(v) })
+		m.ScheduleAt(n, m.Cfg.CacheLatency, func() { done(v) })
 		return
 	}
 	if ln != nil && write && ln.State == cache.Exclusive {
-		m.Ctr.WriteHits++
+		ctr.WriteHits++
 		node.Cache.Touch(ln)
 		old := ln.Val
 		ln.Val = value
@@ -426,17 +767,17 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		// writes; the authoritative image follows it.
 		m.Store.OwnerWrite(b, value)
 		if m.Probe != nil {
-			m.Probe.Progress(uint64(m.Eng.Now()))
+			m.Probe.Progress(uint64(m.Now()))
 		}
-		m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(old) })
+		m.ScheduleAt(n, m.Cfg.CacheLatency, func() { done(old) })
 		return
 	}
 
 	// Miss. Select the destination frame, evicting if necessary.
 	if write {
-		m.Ctr.WriteMisses++
+		ctr.WriteMisses++
 	} else {
-		m.Ctr.ReadMisses++
+		ctr.ReadMisses++
 	}
 	victim := node.Cache.Victim(b)
 	if victim == nil {
@@ -445,7 +786,7 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 	if victim.Block != b || node.Cache.Lookup(b) != victim {
 		// Fresh or foreign frame; evict live contents first.
 		if node.Cache.Lookup(victim.Block) == victim && victim.State != cache.Invalid {
-			m.Ctr.Replacements++
+			ctr.Replacements++
 			m.proto.OnEvict(m, n, victim)
 		}
 		node.Cache.Evict(victim)
@@ -458,15 +799,15 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		Write:  write,
 		Value:  value,
 		Line:   victim,
-		Issued: m.Eng.Now(),
+		Issued: m.Now(),
 		done:   done,
 	}
-	m.txns[n][b] = txn
+	m.putTxn(txn)
 	if m.Probe != nil {
-		m.Probe.TxnStart(uint64(m.Eng.Now()), int(n), uint64(b), write)
+		m.Probe.TxnStart(uint64(m.Now()), int(n), uint64(b), write)
 	}
 	// The miss is detected after one cache access.
-	m.Eng.Schedule(m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
+	m.ScheduleAt(n, m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
 }
 
 // AccessRMW performs an atomic read-modify-write from node n: f maps
@@ -485,19 +826,20 @@ func (m *Machine) AccessRMW(n NodeID, addr uint64, f func(old uint64) uint64, do
 		panic("coherent: AccessRMW with nil function")
 	}
 	b := m.BlockOf(addr)
-	if m.txns[n][b] != nil {
+	if m.Txn(n, b) != nil {
 		panic(fmt.Sprintf("coherent: node %d issued a second outstanding reference on block %d", n, b))
 	}
 	node := m.Nodes[n]
-	m.Ctr.Writes++
-	m.Ctr.WriteMisses++
+	ctr := m.CtrAt(n)
+	ctr.Writes++
+	ctr.WriteMisses++
 	victim := node.Cache.Victim(b)
 	if victim == nil {
 		panic(fmt.Sprintf("coherent: node %d has no evictable frame for block %d", n, b))
 	}
 	if victim.Block != b || node.Cache.Lookup(b) != victim {
 		if node.Cache.Lookup(victim.Block) == victim && victim.State != cache.Invalid {
-			m.Ctr.Replacements++
+			ctr.Replacements++
 			m.proto.OnEvict(m, n, victim)
 		}
 		node.Cache.Evict(victim)
@@ -508,22 +850,22 @@ func (m *Machine) AccessRMW(n NodeID, addr uint64, f func(old uint64) uint64, do
 		Block:  b,
 		Write:  true,
 		Line:   victim,
-		Issued: m.Eng.Now(),
+		Issued: m.Now(),
 		RMW:    f,
 		done:   done,
 	}
-	m.txns[n][b] = txn
+	m.putTxn(txn)
 	if m.Probe != nil {
-		m.Probe.TxnStart(uint64(m.Eng.Now()), int(n), uint64(b), true)
+		m.Probe.TxnStart(uint64(m.Now()), int(n), uint64(b), true)
 	}
-	m.Eng.Schedule(m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
+	m.ScheduleAt(n, m.Cfg.CacheLatency, func() { m.proto.StartMiss(m, txn) })
 }
 
 // CompleteTxn finishes txn: installs the line in state st with value
 // val and engine metadata meta, redelivers deferred messages, and
 // resumes the processor. Engines call this exactly once per StartMiss.
 func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
-	if m.txns[txn.Node][txn.Block] != txn {
+	if m.Txn(txn.Node, txn.Block) != txn {
 		panic(fmt.Sprintf("coherent: CompleteTxn for node %d does not match its outstanding txn", txn.Node))
 	}
 	node := m.Nodes[txn.Node]
@@ -534,35 +876,37 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 	ln.Meta = meta
 
 	if txn.Write {
-		m.Store.CommitWrite(txn.Block)
-		m.Ctr.WriteMissCyc.Observe(uint64(m.Eng.Now() - txn.Issued))
+		if !txn.homeCommit {
+			m.Store.CommitWrite(txn.Block)
+		}
+		m.CtrAt(txn.Node).WriteMissCyc.Observe(uint64(m.Now() - txn.Issued))
 		if m.Mon != nil {
 			m.Mon.OnWriteComplete(txn.Node, txn.Block)
 		}
 	} else {
-		m.Ctr.ReadMissCycles.Observe(uint64(m.Eng.Now() - txn.Issued))
+		m.CtrAt(txn.Node).ReadMissCycles.Observe(uint64(m.Now() - txn.Issued))
 		if m.Mon != nil {
 			m.Mon.OnReadComplete(txn.Node, txn.Block, val)
 		}
 	}
 
 	if m.Probe != nil {
-		m.Probe.TxnEnd(uint64(m.Eng.Now()), int(txn.Node), uint64(txn.Block), txn.Write)
+		m.Probe.TxnEnd(uint64(m.Now()), int(txn.Node), uint64(txn.Block), txn.Write)
 	}
 
-	delete(m.txns[txn.Node], txn.Block)
+	m.delTxn(txn)
 	deferred := txn.Deferred
 	txn.Deferred = nil
 	for _, msg := range deferred {
 		msg := msg
-		m.Eng.Schedule(0, func() { m.proto.CacheMsg(m, msg) })
+		m.ScheduleAt(txn.Node, 0, func() { m.proto.CacheMsg(m, msg) })
 	}
 	done := txn.done
 	ret := val
 	if txn.Write && txn.RMW != nil {
 		ret = txn.rmwOld
 	}
-	m.Eng.Schedule(m.Cfg.CacheLatency, func() { done(ret) })
+	m.ScheduleAt(txn.Node, m.Cfg.CacheLatency, func() { done(ret) })
 }
 
 // ---------------------------------------------------------------------
@@ -572,16 +916,36 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 // Send transmits msg over the network and dispatches it on arrival.
 func (m *Machine) Send(msg *Msg) {
 	if m.Probe != nil {
-		msg.probeID = m.Probe.MsgSend(uint64(m.Eng.Now()), msg.Type.String(),
+		msg.probeID = m.Probe.MsgSend(uint64(m.Now()), msg.Type.String(),
 			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester), msg.ToDir)
 	}
 	if m.sendHook != nil {
-		m.sendHook(msg, func() { m.dispatch(msg) })
+		deliver := func() { m.dispatch(msg) }
+		if msg.RelHome {
+			// Intercepted transport has no delivery instant to hang the
+			// companion event on; run the commit and release right after
+			// the dispatch, which is where the sequential order puts
+			// them (nothing can observe the machine in between).
+			deliver = func() {
+				m.markHomeCommit(msg)
+				m.dispatch(msg)
+				m.Store.CommitWrite(msg.Block)
+				m.ReleaseHome(msg.Block)
+			}
+		}
+		m.sendHook(msg, deliver)
 		return
 	}
-	m.Net.Send(msg.Type.String(), msg.Src, msg.Dst, msg.Bytes(m.Cfg), func() {
-		m.dispatch(msg)
-	})
+	if m.shard != nil && m.shard.InPhase() {
+		// Parallel phase: the network's link/port bookkeeping is shared
+		// across lanes, so the send is parked in the sender's mailbox
+		// and replayed (ReplaySend) in the global deterministic order.
+		lane := m.shard.LaneOf(int(msg.Src))
+		m.sendLogs[lane] = append(m.sendLogs[lane], msg)
+		m.shard.LogSendAt(int(msg.Src))
+		return
+	}
+	m.sendNow(msg)
 }
 
 // SetSendHook installs (or clears, with nil) the transport interceptor
@@ -603,7 +967,7 @@ func (m *Machine) ReplaceBlock(n NodeID, b BlockID) bool {
 	if ln == nil || ln.State == cache.Invalid || ln.Pinned {
 		return false
 	}
-	m.Ctr.Replacements++
+	m.CtrAt(n).Replacements++
 	m.proto.OnEvict(m, n, ln)
 	m.Nodes[n].Cache.Evict(ln)
 	return true
@@ -611,7 +975,7 @@ func (m *Machine) ReplaceBlock(n NodeID, b BlockID) bool {
 
 func (m *Machine) dispatch(msg *Msg) {
 	if m.Probe != nil {
-		m.Probe.MsgDeliver(uint64(m.Eng.Now()), msg.probeID, msg.Type.String(),
+		m.Probe.MsgDeliver(uint64(m.Now()), msg.probeID, msg.Type.String(),
 			int(msg.Src), int(msg.Dst), uint64(msg.Block), msg.ToDir)
 	}
 	if !msg.ToDir {
@@ -622,15 +986,15 @@ func (m *Machine) dispatch(msg *Msg) {
 		m.proto.HomeMsg(m, msg)
 		return
 	}
-	g := m.gates[msg.Block]
+	g := m.gates[msg.Dst][msg.Block]
 	if g == nil {
 		g = &gate{}
-		m.gates[msg.Block] = g
+		m.gates[msg.Dst][msg.Block] = g
 	}
 	if g.busy {
-		m.Ctr.DirectoryBusy++
+		m.CtrAt(msg.Dst).DirectoryBusy++
 		if m.Probe != nil {
-			m.Probe.GateWait(uint64(m.Eng.Now()), int(msg.Dst), uint64(msg.Block), msg.Type.String())
+			m.Probe.GateWait(uint64(m.Now()), int(msg.Dst), uint64(msg.Block), msg.Type.String())
 		}
 		g.queue = append(g.queue, msg)
 		return
@@ -644,7 +1008,7 @@ func (m *Machine) dispatch(msg *Msg) {
 // starting here opens a new invalidation wave in the trace.
 func (m *Machine) startHome(msg *Msg) {
 	if m.Probe != nil {
-		m.Probe.HomeStart(uint64(m.Eng.Now()), int(msg.Dst), uint64(msg.Block),
+		m.Probe.HomeStart(uint64(m.Now()), int(msg.Dst), uint64(msg.Block),
 			msg.Type.String(), int(msg.Requester))
 	}
 	m.proto.HomeRequest(m, msg)
@@ -653,25 +1017,26 @@ func (m *Machine) startHome(msg *Msg) {
 // ReleaseHome releases block b's gate and dispatches the next queued
 // request, if any. Engines call it exactly once per HomeRequest.
 func (m *Machine) ReleaseHome(b BlockID) {
-	g := m.gates[b]
+	home := m.Home(b)
+	g := m.gates[home][b]
 	if g == nil || !g.busy {
 		panic(fmt.Sprintf("coherent: ReleaseHome(%d) without a held gate", b))
 	}
 	if len(g.queue) == 0 {
 		g.busy = false
-		delete(m.gates, b)
+		delete(m.gates[home], b)
 		return
 	}
 	next := g.queue[0]
 	g.queue = g.queue[1:]
 	// Process the queued request as a fresh arrival (zero-delay event
 	// so the current handler unwinds first).
-	m.Eng.Schedule(0, func() { m.startHome(next) })
+	m.ScheduleAt(home, 0, func() { m.startHome(next) })
 }
 
 // HomeGateBusy reports whether block b's gate is held (test helper).
 func (m *Machine) HomeGateBusy(b BlockID) bool {
-	g := m.gates[b]
+	g := m.gates[m.Home(b)][b]
 	return g != nil && g.busy
 }
 
@@ -684,7 +1049,7 @@ func (m *Machine) HomeGateBusy(b BlockID) bool {
 // invalidations that arrive before the data reply they logically
 // follow.
 func (m *Machine) DeferToTxn(n NodeID, msg *Msg) bool {
-	txn := m.txns[n][msg.Block]
+	txn := m.Txn(n, msg.Block)
 	if txn == nil || txn.Write {
 		return false
 	}
@@ -692,8 +1057,12 @@ func (m *Machine) DeferToTxn(n NodeID, msg *Msg) bool {
 	return true
 }
 
-// ReadMem schedules fn after the home memory access latency.
-func (m *Machine) ReadMem(fn func()) { m.Eng.Schedule(m.Cfg.MemLatency, fn) }
+// ReadMem schedules fn after the home memory access latency. b names
+// the block being read, which locates the memory module — and with it
+// the lane fn runs on under the sharded engine.
+func (m *Machine) ReadMem(b BlockID, fn func()) {
+	m.ScheduleAt(m.Home(b), m.Cfg.MemLatency, fn)
+}
 
 // SerializeWrite commits a write request's value at its serialization
 // point. Engines call it exactly once per WriteReq processed under the
@@ -701,7 +1070,7 @@ func (m *Machine) ReadMem(fn func()) { m.Eng.Schedule(m.Cfg.MemLatency, fn) }
 // atomic read-modify-write the new value is computed here, from the
 // block's contents in serialization order.
 func (m *Machine) SerializeWrite(msg *Msg) {
-	if txn := m.txns[msg.Requester][msg.Block]; txn != nil && txn.Write && txn.RMW != nil {
+	if txn := m.Txn(msg.Requester, msg.Block); txn != nil && txn.Write && txn.RMW != nil {
 		txn.rmwOld = m.Store.Value(msg.Block)
 		txn.Value = txn.RMW(txn.rmwOld)
 		msg.Data = txn.Value
@@ -719,33 +1088,51 @@ func (m *Machine) Quiesce() error {
 	err := m.quiesce()
 	if m.Probe != nil {
 		if err != nil && m.Probe.Watchdog != nil {
-			m.Probe.Watchdog.FireDrain(uint64(m.Eng.Now()), err.Error())
+			m.Probe.Watchdog.FireDrain(uint64(m.Now()), err.Error())
 		}
 		if m.Probe.Sampler != nil {
-			m.Probe.Sampler.Flush(uint64(m.Eng.Now()))
+			m.Probe.Sampler.Flush(uint64(m.Now()))
 		}
 		if m.Probe.Gauge != nil {
-			m.Probe.Gauge.Finish(uint64(m.Eng.Now()), m.Eng.Executed())
+			m.Probe.Gauge.Finish(uint64(m.Now()), m.Eng.Executed())
 		}
 	}
 	return err
 }
 
+// RunKernel drains the live event kernel without Quiesce's end-of-run
+// monitor checks. Drivers that interleave simulation with their own
+// quiescence sampling between phases — the fuzz harness — use it in
+// place of reaching for Eng.Run directly, so the drain works on both
+// the sequential and the sharded kernel.
+func (m *Machine) RunKernel() error {
+	err := m.runKernel()
+	m.mergeLaneCounters()
+	return err
+}
+
 func (m *Machine) quiesce() error {
-	if err := m.Eng.Run(); err != nil {
+	err := m.runKernel()
+	m.mergeLaneCounters()
+	if err != nil {
 		return err
 	}
 	if m.Net.InFlight() != 0 {
 		return fmt.Errorf("coherent: %d messages still in flight after quiesce", m.Net.InFlight())
 	}
-	for n, txns := range m.txns {
-		for b := range txns {
-			return fmt.Errorf("coherent: node %d still has an outstanding transaction on block %d", n, b)
+	for n := range m.txns {
+		slots := m.txns[n]
+		for i := range slots {
+			if t := slots[i].Load(); t != nil {
+				return fmt.Errorf("coherent: node %d still has an outstanding transaction on block %d", n, t.Block)
+			}
 		}
 	}
-	for b, g := range m.gates {
-		if g.busy || len(g.queue) > 0 {
-			return fmt.Errorf("coherent: block %d gate still busy at quiesce", b)
+	for _, gates := range m.gates {
+		for b, g := range gates {
+			if g.busy || len(g.queue) > 0 {
+				return fmt.Errorf("coherent: block %d gate still busy at quiesce", b)
+			}
 		}
 	}
 	if m.Mon != nil {
@@ -754,6 +1141,27 @@ func (m *Machine) quiesce() error {
 			return fmt.Errorf("coherent: %d coherence violations, first: %s", len(errs), errs[0])
 		}
 	}
-	m.Ctr.Cycles = uint64(m.Eng.Now())
+	m.Ctr.Cycles = uint64(m.Now())
 	return nil
+}
+
+// runKernel drains the live event kernel. Before a sharded run the
+// store capacity is pinned (shared memory must be allocated up front)
+// so lane accesses never reallocate its backing arrays.
+func (m *Machine) runKernel() error {
+	if m.shard != nil {
+		m.Store.Freeze(int(m.BlockOf(m.allocTop)) + 1)
+		return m.shard.Run()
+	}
+	return m.Eng.Run()
+}
+
+// mergeLaneCounters folds the per-lane counter sinks into Ctr, in lane
+// order, and replaces them with fresh sinks (so repeated Quiesce calls
+// never double-count). No-op on sequential machines.
+func (m *Machine) mergeLaneCounters() {
+	for i, lc := range m.laneCtrs {
+		m.Ctr.Add(lc)
+		m.laneCtrs[i] = stats.NewCounters()
+	}
 }

@@ -123,6 +123,14 @@ type Msg struct {
 	// Gated routes a directory-bound message through the per-block
 	// home gate (request serialization).
 	Gated bool
+	// RelHome releases the block's home gate at the instant this
+	// message is delivered (the write-grant reply: the gate is held
+	// until the writer confirms installation). The machine performs the
+	// release as a companion event at the home, sequenced immediately
+	// after the delivery, so the receiving handler never has to reach
+	// across the machine to the home's gate state — which would break
+	// lane affinity under the sharded kernel.
+	RelHome bool
 
 	// probeID links this message's send and deliver events in the
 	// observability trace; zero when probes are off.

@@ -11,50 +11,113 @@ import (
 // request the new value is committed here, so every data reply the home
 // issues afterwards carries the up-to-date block. Cache lines carry
 // copies of these values, which lets the monitor detect stale reads.
+//
+// Storage is dense, indexed by block id. That matters under the
+// sharded engine: a block's entry is touched by its home's lane (at
+// serialization points) and by the exclusive owner's lane (write
+// hits), accesses the protocol keeps causally ordered across rounds —
+// but distinct blocks are touched from distinct lanes concurrently,
+// which a map's shared internals would turn into a data race. A dense
+// array gives every block its own memory. Growth is only legal while
+// the simulation is single-threaded; Freeze pins the capacity before a
+// sharded run.
 type Store struct {
-	cur map[BlockID]uint64
-	// prevDuringWrite holds the old value of a block whose write
-	// transaction is between serialization and completion; read hits in
+	cur []uint64
+	// prev holds the old value of a block whose write transaction is
+	// between serialization and completion (busy set); read hits in
 	// other caches may legally still observe it (the write has not yet
 	// performed under the strong consistency model).
-	prevDuringWrite map[BlockID]uint64
+	prev    []uint64
+	busy    []bool
+	touched []bool
+	frozen  bool
 }
 
 // NewStore returns an empty memory image (all blocks read as zero).
-func NewStore() *Store {
-	return &Store{
-		cur:             make(map[BlockID]uint64),
-		prevDuringWrite: make(map[BlockID]uint64),
+func NewStore() *Store { return &Store{} }
+
+// ensure grows the image to cover block b. Growth reallocates the
+// backing arrays, which is only safe while one goroutine runs the
+// simulation; a frozen (sharded) store panics instead.
+func (s *Store) ensure(b BlockID) {
+	if int(b) < len(s.cur) {
+		return
 	}
+	if s.frozen {
+		panic(fmt.Sprintf("coherent: block %d beyond the frozen store (allocate shared memory before running sharded)", b))
+	}
+	n := int(b) + 1
+	if n < 2*len(s.cur) {
+		n = 2 * len(s.cur)
+	}
+	grow := func(a []uint64) []uint64 { na := make([]uint64, n); copy(na, a); return na }
+	growB := func(a []bool) []bool { na := make([]bool, n); copy(na, a); return na }
+	s.cur, s.prev = grow(s.cur), grow(s.prev)
+	s.busy, s.touched = growB(s.busy), growB(s.touched)
+}
+
+// Freeze grows the image to nblocks blocks and forbids further growth.
+// The sharded machine calls it before starting workers so that lane
+// accesses never reallocate the backing arrays.
+func (s *Store) Freeze(nblocks int) {
+	if nblocks > 0 {
+		s.ensure(BlockID(nblocks - 1))
+	}
+	s.frozen = true
+}
+
+// InFlightWrites returns the number of writes between serialization and
+// completion. It scans the busy flags rather than maintaining a shared
+// counter — distinct blocks serialize on distinct home lanes under the
+// sharded kernel, and a single counter would be a data race. Call from
+// quiesced contexts only.
+func (s *Store) InFlightWrites() int {
+	n := 0
+	for _, b := range s.busy {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // Value returns the current (last serialized) value of block b.
-func (s *Store) Value(b BlockID) uint64 { return s.cur[b] }
+func (s *Store) Value(b BlockID) uint64 {
+	if int(b) >= len(s.cur) {
+		return 0
+	}
+	return s.cur[b]
+}
 
 // ApplyWrite commits v as b's value at write-serialization time and
 // remembers the old value until CommitWrite.
 func (s *Store) ApplyWrite(b BlockID, v uint64) {
-	if _, busy := s.prevDuringWrite[b]; busy {
+	s.ensure(b)
+	if s.busy[b] {
 		panic(fmt.Sprintf("coherent: two writes to block %d serialized concurrently", b))
 	}
-	s.prevDuringWrite[b] = s.cur[b]
+	s.busy[b] = true
+	s.touched[b] = true
+	s.prev[b] = s.cur[b]
 	s.cur[b] = v
 }
 
 // CommitWrite marks b's in-flight write performed (all invalidations
 // acknowledged, writer granted).
 func (s *Store) CommitWrite(b BlockID) {
-	if _, busy := s.prevDuringWrite[b]; !busy {
+	if int(b) >= len(s.cur) || !s.busy[b] {
 		panic(fmt.Sprintf("coherent: CommitWrite(%d) without ApplyWrite", b))
 	}
-	delete(s.prevDuringWrite, b)
+	s.busy[b] = false
 }
 
 // WriteInFlight reports whether a write to b is between serialization
 // and completion, returning the pre-write value.
 func (s *Store) WriteInFlight(b BlockID) (old uint64, inFlight bool) {
-	old, inFlight = s.prevDuringWrite[b]
-	return
+	if int(b) >= len(s.cur) || !s.busy[b] {
+		return 0, false
+	}
+	return s.prev[b], true
 }
 
 // OwnerWrite records a write hit by the exclusive owner. If a later
@@ -62,8 +125,10 @@ func (s *Store) WriteInFlight(b BlockID) (old uint64, inFlight bool) {
 // racing toward the owner), the hit is ordered before it, so it updates
 // the pre-write image rather than the committed value.
 func (s *Store) OwnerWrite(b BlockID, v uint64) {
-	if _, busy := s.prevDuringWrite[b]; busy {
-		s.prevDuringWrite[b] = v
+	s.ensure(b)
+	s.touched[b] = true
+	if s.busy[b] {
+		s.prev[b] = v
 		return
 	}
 	s.cur[b] = v
@@ -73,8 +138,10 @@ func (s *Store) OwnerWrite(b BlockID, v uint64) {
 // write transaction the value is stale relative to the serialized
 // write, so it only refreshes the pre-write image.
 func (s *Store) WritebackValue(b BlockID, v uint64) {
-	if _, busy := s.prevDuringWrite[b]; busy {
-		s.prevDuringWrite[b] = v
+	s.ensure(b)
+	s.touched[b] = true
+	if s.busy[b] {
+		s.prev[b] = v
 		return
 	}
 	s.cur[b] = v
@@ -93,8 +160,15 @@ type Monitor struct {
 // NewMonitor attaches a monitor to m.
 func NewMonitor(m *Machine) *Monitor { return &Monitor{m: m, maxErr: 20} }
 
-// Errors returns the violations found so far.
-func (mon *Monitor) Errors() []string { return mon.errs }
+// Errors returns the violations found so far. A nil monitor (an
+// unchecked machine) reports none, so invariant passes that sample it
+// work on unchecked runs too.
+func (mon *Monitor) Errors() []string {
+	if mon == nil {
+		return nil
+	}
+	return mon.errs
+}
 
 func (mon *Monitor) fail(format string, args ...any) {
 	if len(mon.errs) < mon.maxErr {
@@ -166,10 +240,14 @@ func (mon *Monitor) OnWriteComplete(writer NodeID, b BlockID) {
 }
 
 // OnQuiesce checks end-of-run invariants: no in-flight writes, no
-// pinned lines, and every Exclusive line agrees with memory.
+// pinned lines, and every Exclusive line agrees with memory. Like
+// Errors, it is a no-op on a nil monitor.
 func (mon *Monitor) OnQuiesce() {
-	if len(mon.m.Store.prevDuringWrite) != 0 {
-		mon.fail("run ended with %d writes never performed", len(mon.m.Store.prevDuringWrite))
+	if mon == nil {
+		return
+	}
+	if n := mon.m.Store.InFlightWrites(); n != 0 {
+		mon.fail("run ended with %d writes never performed", n)
 	}
 	for _, node := range mon.m.Nodes {
 		node.Cache.ForEach(func(ln *cache.Line) {

@@ -263,7 +263,7 @@ func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	if m.Tracing() {
 		m.TraceDir(b, fmt.Sprintf("reader %d adopts %v, %d roots", req, handoff, len(en.slots)))
 	}
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		if txn := m.Txn(req, b); txn != nil && !txn.Write {
 			// The reply (possibly carrying adopted children) is now in
 			// flight; invalidations that race it must be deferred.
@@ -431,7 +431,7 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 			m.TraceDir(b, fmt.Sprintf("dirty owner %d", en.owner))
 		}
 	}
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),

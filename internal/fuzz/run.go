@@ -34,6 +34,23 @@ func RunWorkload(w *Workload, eng NamedEngine) *Result {
 	return runWorkload(w, eng, nil)
 }
 
+// RunWorkloadSharded executes w on the time-windowed parallel kernel
+// with the given shard count (and the runtime coherence monitor off —
+// the checker's transport requires the sequential engine). Its Mem and
+// ReadDigest must match RunWorkloadUnchecked on the same workload:
+// that differential is the fuzz-level determinism oracle for the
+// sharded engine.
+func RunWorkloadSharded(w *Workload, eng NamedEngine, shards int) *Result {
+	return runWorkloadOn(w, eng, nil, shards, false)
+}
+
+// RunWorkloadUnchecked is RunWorkload without the runtime coherence
+// monitor — the sequential baseline RunWorkloadSharded results are
+// compared against.
+func RunWorkloadUnchecked(w *Workload, eng NamedEngine) *Result {
+	return runWorkloadOn(w, eng, nil, 1, false)
+}
+
 // TraceWitness re-executes w on eng with the observability trace
 // attached and returns the recorded protocol events — the same witness
 // format the model checker emits (write with Trace.WriteJSONL).
@@ -44,19 +61,28 @@ func TraceWitness(w *Workload, eng NamedEngine) *obs.Trace {
 }
 
 func runWorkload(w *Workload, eng NamedEngine, probe *obs.Probe) *Result {
+	return runWorkloadOn(w, eng, probe, 1, true)
+}
+
+func runWorkloadOn(w *Workload, eng NamedEngine, probe *obs.Probe, shards int, checked bool) *Result {
 	res := &Result{Engine: eng.Name}
 	cfg := coherent.DefaultConfig(w.Procs)
-	cfg.Check = true
+	cfg.Check = checked
 	cfg.MaxEvents = 50_000_000
 	if w.CacheLines > 0 {
 		cfg.CacheBytes = cfg.BlockBytes * w.CacheLines
 		cfg.CacheSets = 1
 	}
-	m, err := coherent.NewMachine(cfg, eng.New())
+	m, err := coherent.NewShardedMachine(cfg, eng.New(), shards)
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	// Workloads address blocks directly rather than through Alloc; the
+	// sharded kernel freezes the store at the allocation frontier, so
+	// claim the workload's whole footprint up front. (Alloc is pure
+	// bookkeeping — this cannot perturb the sequential baseline.)
+	m.Alloc(uint64(w.Blocks) * uint64(cfg.BlockBytes))
 	if probe != nil {
 		m.AttachProbe(probe)
 	}
@@ -78,7 +104,7 @@ func runWorkload(w *Workload, eng NamedEngine, probe *obs.Probe) *Result {
 	for _, d := range digests {
 		res.ReadDigest = res.ReadDigest*1099511628211 + d
 	}
-	res.Cycles = uint64(m.Eng.Now())
+	res.Cycles = uint64(m.Now())
 	return res
 }
 
@@ -125,12 +151,12 @@ func runPhase(m *coherent.Machine, w *Workload, ph Phase, digests []uint64) (err
 				m.ReplaceBlock(node, op.Block)
 				// One-cycle yield: keeps the teardown racing the rest of
 				// the phase instead of recursing synchronously.
-				m.Eng.Schedule(1, func() { step(i + 1) })
+				m.ScheduleAt(node, 1, func() { step(i + 1) })
 			}
 		}
-		m.Eng.Schedule(0, func() { step(0) })
+		m.ScheduleAt(node, 0, func() { step(0) })
 	}
-	if err := m.Eng.Run(); err != nil {
+	if err := m.RunKernel(); err != nil {
 		if errors.Is(err, sim.ErrEventBudget) {
 			return fmt.Errorf("livelock: %d kernel events without quiescing", m.Cfg.MaxEvents)
 		}

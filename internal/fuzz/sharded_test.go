@@ -1,0 +1,62 @@
+package fuzz
+
+import (
+	"testing"
+
+	"dircc/internal/coherent"
+	"dircc/internal/protocol/fullmap"
+	"dircc/internal/protocol/limited"
+	"dircc/internal/protocol/limitless"
+)
+
+// shardSafeEngines is the differential set for the parallel kernel:
+// the engine families that declare lane-affine handlers (ShardSafe).
+// The list and tree schemes stay sequential-only — their handlers walk
+// chains across arbitrary nodes — and are excluded by construction.
+func shardSafeEngines() []NamedEngine {
+	return []NamedEngine{
+		{"fm", func() coherent.Engine { return fullmap.New() }},
+		{"Dir2B", func() coherent.Engine { return limited.NewB(2) }},
+		{"Dir4NB", func() coherent.Engine { return limited.NewNB(4) }},
+		{"LimitLESS4", func() coherent.Engine { return limitless.New(4) }},
+	}
+}
+
+// TestShardedFuzzSmoke is the fuzz-level determinism oracle for the
+// time-windowed parallel kernel: 200 seed-derived workloads, each
+// shard-safe engine run sequentially and on 4 shards, with Mem,
+// ReadDigest AND Cycles required to be identical. Unlike the
+// cross-engine differential (where timing is free to differ), the
+// sharded engine promises bit-exact equality with the sequential
+// kernel — so cycles are part of the oracle here.
+func TestShardedFuzzSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-seed sweep; skipped in -short")
+	}
+	engines := shardSafeEngines()
+	for seed := uint64(1); seed <= 200; seed++ {
+		w := ForSeed(seed)
+		for _, eng := range engines {
+			seq := RunWorkloadUnchecked(w, eng)
+			if seq.Err != nil {
+				t.Fatalf("seed %d %s sequential: %v", seed, eng.Name, seq.Err)
+			}
+			shd := RunWorkloadSharded(w, eng, 4)
+			if shd.Err != nil {
+				t.Fatalf("seed %d %s shards=4: %v", seed, eng.Name, shd.Err)
+			}
+			if shd.Cycles != seq.Cycles {
+				t.Fatalf("seed %d %s: sharded cycles %d != sequential %d", seed, eng.Name, shd.Cycles, seq.Cycles)
+			}
+			if shd.ReadDigest != seq.ReadDigest {
+				t.Fatalf("seed %d %s: sharded read digest %#x != sequential %#x", seed, eng.Name, shd.ReadDigest, seq.ReadDigest)
+			}
+			for b := range seq.Mem {
+				if shd.Mem[b] != seq.Mem[b] {
+					t.Fatalf("seed %d %s: sharded memory block %d = %#x, sequential has %#x",
+						seed, eng.Name, b, shd.Mem[b], seq.Mem[b])
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,10 @@
 //     report/trace writer.
 //   - probeguard: the observability layer is a nil *obs.Probe when
 //     disabled, so probe method calls must be guarded by a nil check.
+//   - shardsafe: the parallel kernel partitions nodes across lanes, so
+//     engine code must schedule through the Machine façade (never
+//     Machine.Eng) and count through per-lane sinks (never writes to
+//     Machine.Ctr in shard-safe engine packages).
 //
 // A finding can be suppressed — with justification — by a
 // `//dirccvet:allow <analyzer>` comment on the same line or the line
@@ -69,7 +73,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDet, MapRange, ProbeGuard}
+	return []*Analyzer{SimDet, MapRange, ProbeGuard, ShardSafeRule}
 }
 
 // RunAnalyzers applies the analyzers to every package, drops findings

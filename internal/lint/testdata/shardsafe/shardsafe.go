@@ -1,0 +1,49 @@
+// Fixture for the shardsafe analyzer: engine code must reach the
+// kernel through the Machine scheduling façade and count through the
+// per-lane sinks, never through Machine.Eng or writes to Machine.Ctr.
+package shardsafe
+
+import (
+	"dircc/internal/coherent"
+)
+
+// engine declares itself shard-safe, which subjects this package to
+// the counter-sink rule.
+type engine struct{}
+
+func (engine) ShardSafeEngine() bool { return true }
+
+func badEng(m *coherent.Machine) {
+	m.Eng.Schedule(1, func() {}) // want `Machine.Eng bypasses the scheduling façade`
+	_ = m.Eng.Now()              // want `Machine.Eng bypasses the scheduling façade`
+}
+
+func badEngRun(m *coherent.Machine) error {
+	return m.Eng.Run() // want `Machine.Eng bypasses the scheduling façade`
+}
+
+func badCtrWrite(m *coherent.Machine, n coherent.NodeID) {
+	m.Ctr.Invalidations++      // want `handlers on a sharded machine must count through m.CtrAt`
+	m.Ctr.Writebacks += 2      // want `handlers on a sharded machine must count through m.CtrAt`
+	m.Ctr.MsgByType["Inv"] = 1 // want `handlers on a sharded machine must count through m.CtrAt`
+	_ = n
+}
+
+func goodFacade(m *coherent.Machine, n coherent.NodeID) {
+	m.ScheduleAt(n, 1, func() {})
+	m.ScheduleGlobal(1, func() {})
+	m.GlobalOpAt(n, func() {})
+	_ = m.Now()
+	m.CtrAt(n).Invalidations++
+}
+
+func goodCtrRead(m *coherent.Machine) uint64 {
+	// Reading the merged counters (reports, assertions) is fine.
+	return m.Ctr.Invalidations + m.Ctr.Writebacks
+}
+
+func allowedSequentialDriver(m *coherent.Machine) {
+	// A sequential-only driver may opt out with a justification.
+	//dirccvet:allow shardsafe this path never runs sharded
+	m.Eng.Schedule(0, func() {})
+}

@@ -62,7 +62,7 @@ func (c Config) validate() error {
 
 // Network simulates message transport over a Topology.
 type Network struct {
-	eng   *sim.Engine
+	sched sim.NodeScheduler
 	topo  topology.Topology
 	cfg   Config
 	nodes int
@@ -80,9 +80,15 @@ type Network struct {
 	routes       [][]topology.LinkID
 	routeScratch []topology.LinkID
 
-	// accounting
-	sent, delivered uint64
-	counters        *stats.Counters
+	// accounting. sent is only touched from send-processing contexts
+	// (the sequential event loop, or the sharded engine's replay —
+	// both single-threaded). deliveredBy is per destination node so
+	// that delivery events, which run on the destination's lane under
+	// the sharded engine, never share a counter across lanes; the sum
+	// is read only from quiesced contexts.
+	sent        uint64
+	deliveredBy []uint64
+	counters    *stats.Counters
 
 	// probe, when non-nil, observes each message's transport timing:
 	// injection instant, computed arrival instant, and the latency an
@@ -99,9 +105,10 @@ type Network struct {
 // scratch buffer.
 const routeTableMaxNodes = 64
 
-// New builds a network over topo driven by eng, recording traffic into
-// counters (which may be shared with the machine).
-func New(eng *sim.Engine, topo topology.Topology, cfg Config, counters *stats.Counters) (*Network, error) {
+// New builds a network over topo driven by sched — the sequential
+// engine or the sharded engine's node-routing surface — recording
+// traffic into counters (which may be shared with the machine).
+func New(sched sim.NodeScheduler, topo topology.Topology, cfg Config, counters *stats.Counters) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -109,14 +116,15 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config, counters *stats.Co
 		counters = stats.NewCounters()
 	}
 	n := &Network{
-		eng:        eng,
-		topo:       topo,
-		cfg:        cfg,
-		nodes:      topo.Nodes(),
-		linkFree:   make([]sim.Time, len(topo.Links())),
-		injectFree: make([]sim.Time, topo.Nodes()),
-		ejectFree:  make([]sim.Time, topo.Nodes()),
-		counters:   counters,
+		sched:       sched,
+		topo:        topo,
+		cfg:         cfg,
+		nodes:       topo.Nodes(),
+		linkFree:    make([]sim.Time, len(topo.Links())),
+		injectFree:  make([]sim.Time, topo.Nodes()),
+		ejectFree:   make([]sim.Time, topo.Nodes()),
+		deliveredBy: make([]uint64, topo.Nodes()),
+		counters:    counters,
 	}
 	if n.nodes <= routeTableMaxNodes {
 		// Precompute every route into one backing array; the table
@@ -160,10 +168,32 @@ func (n *Network) routeFor(src, dst topology.NodeID) []topology.LinkID {
 func (n *Network) SetProbe(fn func(start, arrive, unloaded sim.Time)) { n.probe = fn }
 
 // InFlight reports the number of messages sent but not yet delivered.
-func (n *Network) InFlight() uint64 { return n.sent - n.delivered }
+// Call only from quiesced (single-threaded) contexts: it sums the
+// per-node delivery counters.
+func (n *Network) InFlight() uint64 {
+	var delivered uint64
+	for _, d := range n.deliveredBy {
+		delivered += d
+	}
+	return n.sent - delivered
+}
 
 // Sent returns the total number of messages accepted for transport.
 func (n *Network) Sent() uint64 { return n.sent }
+
+// Lookahead returns the minimum cycles between injecting a message and
+// its delivery at any node: the conservative-PDES bound below which no
+// send made now can affect another node. With Table 5 parameters
+// (HopDelay=1, LocalDelay=1, 1-byte phits) this is 2 cycles, which is
+// why a sharded simulation never sees a delivery land in the round
+// that produced it.
+func (n *Network) Lookahead() sim.Time {
+	la := n.cfg.HopDelay
+	if n.cfg.LocalDelay < la {
+		la = n.cfg.LocalDelay
+	}
+	return la + 1 // + minimum one-phit service time
+}
 
 // serviceBytes returns the cycles a resource is busy streaming a
 // message of the given size.
@@ -176,9 +206,11 @@ func (n *Network) serviceBytes(bytes int) sim.Time {
 }
 
 // Send transports a message of the given size from src to dst and runs
-// deliver at the arrival instant. typ labels the message for per-type
-// statistics. Send never blocks; all waiting happens in simulated time.
-func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver func()) {
+// deliver at the arrival instant, which it returns (callers scheduling
+// companion work at delivery time — the home-gate release — need it).
+// typ labels the message for per-type statistics. Send never blocks;
+// all waiting happens in simulated time.
+func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver func()) sim.Time {
 	if deliver == nil {
 		panic("network: Send with nil deliver")
 	}
@@ -187,7 +219,7 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 	}
 	n.sent++
 	svc := n.serviceBytes(bytes)
-	now := n.eng.Now()
+	now := n.sched.Now()
 	route := n.routeFor(src, dst)
 	n.counters.CountMsg(typ, bytes, len(route))
 
@@ -199,11 +231,11 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 		if n.probe != nil {
 			n.probe(now, arrive, n.cfg.LocalDelay+svc)
 		}
-		n.eng.At(arrive, func() {
-			n.delivered++
+		n.sched.AtNode(int(dst), arrive, func() {
+			n.deliveredBy[dst]++
 			deliver()
 		})
-		return
+		return arrive
 	}
 
 	// Head departs the source NI once the injection port frees up.
@@ -226,10 +258,11 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 	if n.probe != nil {
 		n.probe(now, arrive, sim.Time(len(route))*n.cfg.HopDelay+svc)
 	}
-	n.eng.At(arrive, func() {
-		n.delivered++
+	n.sched.AtNode(int(dst), arrive, func() {
+		n.deliveredBy[dst]++
 		deliver()
 	})
+	return arrive
 }
 
 // UnloadedLatency returns the latency in cycles of a message of the

@@ -142,7 +142,7 @@ func Run(m *coherent.Machine, body Body) (sim.Time, error) {
 	g.running = n
 	for _, p := range g.procs {
 		p := p
-		m.Eng.Schedule(0, func() { g.advance(p, 0) })
+		m.ScheduleAt(coherent.NodeID(p.id), 0, func() { g.advance(p, 0) })
 	}
 	if err := m.Quiesce(); err != nil {
 		g.abandon()
@@ -153,7 +153,7 @@ func Run(m *coherent.Machine, body Body) (sim.Time, error) {
 		return 0, fmt.Errorf("proc: deadlock — %d of %d processors never finished (barrier/lock imbalance?)",
 			n-g.finished, n)
 	}
-	return m.Eng.Now(), nil
+	return m.Now(), nil
 }
 
 // abandon unblocks any still-parked goroutines so they can exit; their
@@ -248,7 +248,7 @@ func (g *Group) dispatch(p *proc, r request) {
 				g.parkUntil(p, func() bool { return len(wb.q) <= m.Cfg.WriteBuffer },
 					func() { g.advance(p, 0) })
 			} else {
-				m.Eng.Schedule(m.Cfg.CacheLatency, func() { g.advance(p, 0) })
+				m.ScheduleAt(coherent.NodeID(p.id), m.Cfg.CacheLatency, func() { g.advance(p, 0) })
 			}
 			g.issueWrites(p)
 			return
@@ -257,7 +257,7 @@ func (g *Group) dispatch(p *proc, r request) {
 			for i := len(wb.q) - 1; i >= 0; i-- {
 				if wb.q[i].addr == r.addr {
 					v := wb.q[i].value
-					m.Eng.Schedule(m.Cfg.CacheLatency, func() { g.advance(p, v) })
+					m.ScheduleAt(coherent.NodeID(p.id), m.Cfg.CacheLatency, func() { g.advance(p, v) })
 					return
 				}
 			}
@@ -300,69 +300,81 @@ func (g *Group) dispatchOrdered(p *proc, r request) {
 		m.AccessRMW(coherent.NodeID(p.id), r.addr, func(old uint64) uint64 { return old + delta },
 			func(old uint64) { g.advance(p, old) })
 	case reqCompute:
-		m.Ctr.ComputeCycles += r.cycles
-		m.Eng.Schedule(sim.Time(r.cycles), func() { g.advance(p, 0) })
+		m.CtrAt(coherent.NodeID(p.id)).ComputeCycles += r.cycles
+		m.ScheduleAt(coherent.NodeID(p.id), sim.Time(r.cycles), func() { g.advance(p, 0) })
 	case reqBarrier:
-		g.barrierWaiting++
-		g.barrierResume = append(g.barrierResume, p)
-		if g.barrierWaiting == g.running {
-			m.Ctr.BarrierEpochs++
-			waiters := g.barrierResume
-			g.barrierWaiting = 0
-			g.barrierResume = nil
-			m.Eng.Schedule(m.Cfg.BarrierOverhead, func() {
-				for _, w := range waiters {
-					w := w
-					m.Eng.Schedule(0, func() { g.advance(w, 0) })
-				}
-			})
-		}
+		// Barrier bookkeeping is Group-global state shared by every
+		// processor, so under the sharded kernel it must run in the
+		// replay step; GlobalOpAt defers it there (and is a plain call
+		// sequentially). The same applies to locks and exit below.
+		m.GlobalOpAt(coherent.NodeID(p.id), func() {
+			g.barrierWaiting++
+			g.barrierResume = append(g.barrierResume, p)
+			if g.barrierWaiting == g.running {
+				m.Ctr.BarrierEpochs++
+				waiters := g.barrierResume
+				g.barrierWaiting = 0
+				g.barrierResume = nil
+				m.ScheduleGlobal(m.Cfg.BarrierOverhead, func() {
+					for _, w := range waiters {
+						w := w
+						m.ScheduleAt(coherent.NodeID(w.id), 0, func() { g.advance(w, 0) })
+					}
+				})
+			}
+		})
 	case reqLock:
 		if m.Cfg.MemLocks {
 			g.memLockAcquire(p, r.lockID)
 			return
 		}
-		ls := g.locks[r.lockID]
-		if ls == nil {
-			ls = &lockState{}
-			g.locks[r.lockID] = ls
-		}
-		if !ls.held {
-			ls.held = true
-			m.Ctr.LockAcquires++
-			m.Eng.Schedule(m.Cfg.LockOverhead, func() { g.advance(p, 0) })
-		} else {
-			ls.queue = append(ls.queue, p)
-		}
+		m.GlobalOpAt(coherent.NodeID(p.id), func() {
+			ls := g.locks[r.lockID]
+			if ls == nil {
+				ls = &lockState{}
+				g.locks[r.lockID] = ls
+			}
+			if !ls.held {
+				ls.held = true
+				m.Ctr.LockAcquires++
+				m.ScheduleAt(coherent.NodeID(p.id), m.Cfg.LockOverhead, func() { g.advance(p, 0) })
+			} else {
+				ls.queue = append(ls.queue, p)
+			}
+		})
 	case reqUnlock:
 		if m.Cfg.MemLocks {
 			g.memLockRelease(p, r.lockID)
 			return
 		}
-		ls := g.locks[r.lockID]
-		if ls == nil || !ls.held {
-			panic(fmt.Sprintf("proc: processor %d unlocked lock %d which is not held", p.id, r.lockID))
-		}
-		if len(ls.queue) > 0 {
-			next := ls.queue[0]
-			ls.queue = ls.queue[1:]
-			m.Ctr.LockAcquires++
-			m.Eng.Schedule(m.Cfg.LockOverhead, func() { g.advance(next, 0) })
-		} else {
-			ls.held = false
-		}
-		// Releasing costs one cycle locally; the releaser continues.
-		m.Eng.Schedule(1, func() { g.advance(p, 0) })
+		m.GlobalOpAt(coherent.NodeID(p.id), func() {
+			ls := g.locks[r.lockID]
+			if ls == nil || !ls.held {
+				panic(fmt.Sprintf("proc: processor %d unlocked lock %d which is not held", p.id, r.lockID))
+			}
+			if len(ls.queue) > 0 {
+				next := ls.queue[0]
+				ls.queue = ls.queue[1:]
+				m.Ctr.LockAcquires++
+				m.ScheduleAt(coherent.NodeID(next.id), m.Cfg.LockOverhead, func() { g.advance(next, 0) })
+			} else {
+				ls.held = false
+			}
+			// Releasing costs one cycle locally; the releaser continues.
+			m.ScheduleAt(coherent.NodeID(p.id), 1, func() { g.advance(p, 0) })
+		})
 	case reqDone:
 		p.done = true
-		g.finished++
-		g.running--
-		// A barrier can now be satisfied by the remaining processors.
-		// Finishing while others wait at a barrier is an application
-		// bug; detect it rather than hang.
-		if g.barrierWaiting > 0 && g.barrierWaiting == g.running {
-			panic(fmt.Sprintf("proc: processor %d exited while %d peers wait at a barrier", p.id, g.barrierWaiting))
-		}
+		m.GlobalOpAt(coherent.NodeID(p.id), func() {
+			g.finished++
+			g.running--
+			// A barrier can now be satisfied by the remaining processors.
+			// Finishing while others wait at a barrier is an application
+			// bug; detect it rather than hang.
+			if g.barrierWaiting > 0 && g.barrierWaiting == g.running {
+				panic(fmt.Sprintf("proc: processor %d exited while %d peers wait at a barrier", p.id, g.barrierWaiting))
+			}
+		})
 	}
 }
 
@@ -390,14 +402,14 @@ func (g *Group) memLockAcquire(p *proc, id int) {
 			spin = func() {
 				m.Access(coherent.NodeID(p.id), w[1], false, 0, func(serving uint64) {
 					if serving == ticket {
-						m.Ctr.LockAcquires++
+						m.CtrAt(coherent.NodeID(p.id)).LockAcquires++
 						g.advance(p, 0)
 						return
 					}
 					// Back off before re-reading (the copy was
 					// invalidated by the releaser, so the re-read is a
 					// real protocol transaction).
-					m.Eng.Schedule(m.Cfg.LockOverhead, spin)
+					m.ScheduleAt(coherent.NodeID(p.id), m.Cfg.LockOverhead, spin)
 				})
 			}
 			spin()
@@ -458,4 +470,4 @@ func (e *env) Unlock(id int) {
 	<-e.p.resume
 }
 
-func (e *env) Now() sim.Time { return e.p.g.m.Eng.Now() }
+func (e *env) Now() sim.Time { return e.p.g.m.Now() }

@@ -55,22 +55,32 @@ type pending struct {
 }
 
 // Engine is the full-map protocol engine. One instance serves one
-// Machine.
+// Machine (bound at Prepare).
 type Engine struct {
-	entries map[coherent.BlockID]*entry
+	m *coherent.Machine
 }
 
 // New returns a fresh full-map engine.
-func New() *Engine { return &Engine{entries: make(map[coherent.BlockID]*entry)} }
+func New() *Engine { return &Engine{} }
 
 // Name implements coherent.Engine.
 func (e *Engine) Name() string { return "fm" }
 
+// Prepare implements coherent.Preparer: directory records live in the
+// machine's per-home-node dir storage, so each record is only ever
+// touched by its home's lane under the sharded kernel.
+func (e *Engine) Prepare(m *coherent.Machine) { e.m = m }
+
+// ShardSafeEngine implements coherent.ShardSafe: every handler touches
+// only the dispatched node's cache state, its home's directory record,
+// and the machine's synchronized cross-lane surfaces.
+func (e *Engine) ShardSafeEngine() bool { return true }
+
 func (e *Engine) entry(b coherent.BlockID) *entry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		en = &entry{state: uncached, sharers: make(map[coherent.NodeID]bool), owner: coherent.NoNode}
-		e.entries[b] = en
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -138,7 +148,7 @@ func (e *Engine) serveRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 		// means the writeback logic broke.
 		panic("fullmap: dirty owner re-requested its own block")
 	}
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgDataReply, Src: home, Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: coherent.NoNode,
@@ -165,7 +175,7 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	for _, n := range targets {
 		pend.acksLeft++
-		m.Ctr.Invalidations++
+		m.CtrAt(home).Invalidations++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInv, Src: home, Dst: n, Block: b,
 			Requester: msg.Requester, Aux: coherent.NoNode,
@@ -189,10 +199,11 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	// The gate stays held until the writer confirms installation
 	// (WM_LIP ends when the write performs); the writer-side handler
 	// releases it. This keeps write serialization windows disjoint.
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: coherent.NoNode,
+			RelHome: true,
 		})
 	})
 }
@@ -202,7 +213,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(msg.Block)
 	switch msg.Type {
 	case coherent.MsgInvAck:
-		m.Ctr.InvAcks++
+		m.CtrAt(msg.Dst).InvAcks++
 		if en.pend == nil || en.pend.acksLeft <= 0 {
 			panic("fullmap: unexpected InvAck")
 		}
@@ -211,7 +222,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			e.grantWrite(m, en, en.pend.req)
 		}
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		delete(en.sharers, msg.Src)
 		if en.owner == msg.Src {
@@ -258,8 +269,9 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if txn == nil || !txn.Write {
 			panic("fullmap: WriteReply without matching write txn")
 		}
+		// The home gate's release rides on the reply itself (RelHome):
+		// the machine runs it as a companion event at the home.
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, nil)
-		m.ReleaseHome(msg.Block)
 	case coherent.MsgInv:
 		// Invalidate if present; always acknowledge (presence bits may
 		// be stale after silent replacement).
@@ -307,7 +319,7 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 
 // DescribeBlock implements coherent.BlockDumper for stall diagnostics.
 func (e *Engine) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		return "uncached (no entry)"
 	}

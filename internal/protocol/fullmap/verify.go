@@ -13,13 +13,11 @@ import (
 // CanonState implements coherent.ProtocolState: a deterministic dump of
 // every directory entry that differs from the uncached zero state.
 func (e *Engine) CanonState(w io.Writer) {
-	blocks := make([]coherent.BlockID, 0, len(e.entries))
-	for b := range e.entries {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for _, b := range blocks {
-		en := e.entries[b]
+	for _, b := range e.m.DirBlocks() {
+		en, ok := e.m.Dir(b).(*entry)
+		if !ok {
+			continue
+		}
 		if en.state == uncached && len(en.sharers) == 0 && en.owner == coherent.NoNode && en.pend == nil {
 			continue
 		}
@@ -34,7 +32,7 @@ func (e *Engine) CanonState(w io.Writer) {
 // CoverageRoots implements coherent.CoverageEnumerator: the presence
 // bits plus the owner pointer record every copy directly.
 func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}

@@ -69,7 +69,7 @@ type pending struct {
 type Engine struct {
 	ptrs      int
 	broadcast bool
-	entries   map[coherent.BlockID]*entry
+	m         *coherent.Machine
 }
 
 // NewNB returns a Dir_iNB engine with the given pointer count.
@@ -77,7 +77,7 @@ func NewNB(i int) *Engine {
 	if i < 1 {
 		panic(fmt.Sprintf("limited: need at least 1 pointer, got %d", i))
 	}
-	return &Engine{ptrs: i, entries: make(map[coherent.BlockID]*entry)}
+	return &Engine{ptrs: i}
 }
 
 // NewB returns a Dir_iB engine with the given pointer count.
@@ -98,11 +98,21 @@ func (e *Engine) Name() string {
 // Pointers returns i.
 func (e *Engine) Pointers() int { return e.ptrs }
 
+// Prepare implements coherent.Preparer: directory records live in the
+// machine's per-home-node dir storage, so each record is only ever
+// touched by its home's lane under the sharded kernel.
+func (e *Engine) Prepare(m *coherent.Machine) { e.m = m }
+
+// ShardSafeEngine implements coherent.ShardSafe: every handler touches
+// only the dispatched node's cache state, its home's directory record,
+// and the machine's synchronized cross-lane surfaces.
+func (e *Engine) ShardSafeEngine() bool { return true }
+
 func (e *Engine) entry(b coherent.BlockID) *entry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		en = &entry{owner: coherent.NoNode}
-		e.entries[b] = en
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -181,13 +191,13 @@ func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	case e.broadcast:
 		// Dir_iB: set the overflow bit; the copy is unrecorded.
 		en.broadcast = true
-		m.Ctr.PointerEvicts++ // counts overflow events for both variants
+		m.CtrAt(home).PointerEvicts++ // counts overflow events for both variants
 	default:
 		// Dir_iNB: invalidate a round-robin victim pointer first.
 		victim := en.ptrs[en.rr%len(en.ptrs)]
 		en.rr++
-		m.Ctr.PointerEvicts++
-		m.Ctr.Invalidations++
+		m.CtrAt(home).PointerEvicts++
+		m.CtrAt(home).Invalidations++
 		en.pend = &pending{req: msg, stage: stageEvict, acksLeft: 1, wbFrom: coherent.NoNode}
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInv, Src: home, Dst: victim, Block: b,
@@ -203,7 +213,7 @@ func (e *Engine) serveRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	if en.state == uncached {
 		en.state = shared
 	}
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgDataReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: coherent.NoNode,
@@ -219,13 +229,13 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 	pend := &pending{req: msg, stage: stageInv, wbFrom: coherent.NoNode}
 	en.pend = pend
 	if en.broadcast {
-		m.Ctr.Broadcasts++
+		m.CtrAt(home).Broadcasts++
 		for n := 0; n < m.Cfg.Procs; n++ {
 			if coherent.NodeID(n) == msg.Requester {
 				continue
 			}
 			pend.acksLeft++
-			m.Ctr.Invalidations++
+			m.CtrAt(home).Invalidations++
 			m.Send(&coherent.Msg{
 				Type: coherent.MsgInv, Src: home, Dst: coherent.NodeID(n), Block: b,
 				Requester: msg.Requester, Aux: coherent.NoNode,
@@ -237,7 +247,7 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 				continue
 			}
 			pend.acksLeft++
-			m.Ctr.Invalidations++
+			m.CtrAt(home).Invalidations++
 			m.Send(&coherent.Msg{
 				Type: coherent.MsgInv, Src: home, Dst: n, Block: b,
 				Requester: msg.Requester, Aux: coherent.NoNode,
@@ -256,10 +266,11 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	en.owner = msg.Requester
 	en.ptrs = []coherent.NodeID{msg.Requester}
 	en.broadcast = false
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: coherent.NoNode,
+			RelHome: true,
 		})
 	})
 }
@@ -269,7 +280,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(msg.Block)
 	switch msg.Type {
 	case coherent.MsgInvAck:
-		m.Ctr.InvAcks++
+		m.CtrAt(msg.Dst).InvAcks++
 		p := en.pend
 		if p == nil || p.acksLeft <= 0 {
 			panic("limited: unexpected InvAck")
@@ -291,7 +302,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			panic("limited: InvAck in wrong stage")
 		}
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		en.drop(msg.Src)
 		if en.owner == msg.Src {
@@ -336,8 +347,9 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if txn == nil || !txn.Write {
 			panic("limited: WriteReply without matching write txn")
 		}
+		// The home gate's release rides on the reply itself (RelHome):
+		// the machine runs it as a companion event at the home.
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, nil)
-		m.ReleaseHome(msg.Block)
 	case coherent.MsgInv:
 		m.Invalidate(n, msg.Block)
 		m.Send(&coherent.Msg{
@@ -379,7 +391,7 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 
 // DescribeBlock implements coherent.BlockDumper for stall diagnostics.
 func (e *Engine) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		return "uncached (no entry)"
 	}

@@ -3,7 +3,6 @@ package limited
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"dircc/internal/coherent"
 )
@@ -13,13 +12,11 @@ import (
 // CanonState implements coherent.ProtocolState. The round-robin cursor
 // is included: it selects future overflow victims.
 func (e *Engine) CanonState(w io.Writer) {
-	blocks := make([]coherent.BlockID, 0, len(e.entries))
-	for b := range e.entries {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for _, b := range blocks {
-		en := e.entries[b]
+	for _, b := range e.m.DirBlocks() {
+		en, ok := e.m.Dir(b).(*entry)
+		if !ok {
+			continue
+		}
 		if en.state == uncached && len(en.ptrs) == 0 && en.owner == coherent.NoNode &&
 			!en.broadcast && en.rr == 0 && en.pend == nil {
 			continue
@@ -36,7 +33,7 @@ func (e *Engine) CanonState(w io.Writer) {
 // Dir_iB overflow bit set, copies are unrecorded by design and any
 // node may legally hold one.
 func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}

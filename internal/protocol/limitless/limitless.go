@@ -69,9 +69,9 @@ type pending struct {
 
 // Engine implements LimitLESS_i for one machine.
 type Engine struct {
-	ptrs    int
-	trap    sim.Time
-	entries map[coherent.BlockID]*entry
+	ptrs int
+	trap sim.Time
+	m    *coherent.Machine
 }
 
 // DefaultTrapCycles is the software-handler cost charged per directory
@@ -93,7 +93,7 @@ func NewWithTrap(i int, trap sim.Time) *Engine {
 	if trap < 1 {
 		panic(fmt.Sprintf("limitless: trap cost must be >= 1 cycle, got %d", trap))
 	}
-	return &Engine{ptrs: i, trap: trap, entries: make(map[coherent.BlockID]*entry)}
+	return &Engine{ptrs: i, trap: trap}
 }
 
 // Name implements coherent.Engine ("LimitLESS4", ...).
@@ -105,11 +105,21 @@ func (e *Engine) Pointers() int { return e.ptrs }
 // TrapCycles returns the configured software-handler cost.
 func (e *Engine) TrapCycles() sim.Time { return e.trap }
 
+// Prepare implements coherent.Preparer: directory records live in the
+// machine's per-home-node dir storage, so each record is only ever
+// touched by its home's lane under the sharded kernel.
+func (e *Engine) Prepare(m *coherent.Machine) { e.m = m }
+
+// ShardSafeEngine implements coherent.ShardSafe: every handler touches
+// only the dispatched node's cache state, its home's directory record,
+// and the machine's synchronized cross-lane surfaces.
+func (e *Engine) ShardSafeEngine() bool { return true }
+
 func (e *Engine) entry(b coherent.BlockID) *entry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		en = &entry{owner: coherent.NoNode, sw: make(map[coherent.NodeID]bool)}
-		e.entries[b] = en
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -190,14 +200,14 @@ func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 		// Pointer overflow: the home's processor traps to software and
 		// spills the new pointer.
 		en.sw[msg.Requester] = true
-		m.Ctr.PointerEvicts++ // counts software traps for this engine
+		m.CtrAt(m.Home(b)).PointerEvicts++ // counts software traps for this engine
 		trap = e.trap
 	}
 	if en.state == uncached {
 		en.state = shared
 	}
-	m.Eng.Schedule(trap, func() {
-		m.ReadMem(func() {
+	m.ScheduleAt(m.Home(b), trap, func() {
+		m.ReadMem(b, func() {
 			m.Send(&coherent.Msg{
 				Type: coherent.MsgDataReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 				Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: coherent.NoNode,
@@ -232,7 +242,7 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 	sortNodes(targets)
 	delay := sim.Time(0)
 	if swCount > 0 {
-		m.Ctr.Broadcasts++ // counts software-assisted invalidation rounds
+		m.CtrAt(home).Broadcasts++ // counts software-assisted invalidation rounds
 		delay = e.trap + sim.Time(swCount)*e.trap/4
 	}
 	if len(targets) == 0 {
@@ -240,9 +250,9 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 		return
 	}
 	pend.acksLeft = len(targets)
-	m.Eng.Schedule(delay, func() {
+	m.ScheduleAt(home, delay, func() {
 		for _, n := range targets {
-			m.Ctr.Invalidations++
+			m.CtrAt(home).Invalidations++
 			m.Send(&coherent.Msg{
 				Type: coherent.MsgInv, Src: home, Dst: n, Block: b,
 				Requester: msg.Requester, Aux: coherent.NoNode,
@@ -266,10 +276,11 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	en.owner = msg.Requester
 	en.hw = []coherent.NodeID{msg.Requester}
 	en.sw = make(map[coherent.NodeID]bool)
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b), Aux: coherent.NoNode,
+			RelHome: true,
 		})
 	})
 }
@@ -279,7 +290,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(msg.Block)
 	switch msg.Type {
 	case coherent.MsgInvAck:
-		m.Ctr.InvAcks++
+		m.CtrAt(msg.Dst).InvAcks++
 		p := en.pend
 		if p == nil || p.stage != stageInv || p.acksLeft <= 0 {
 			panic("limitless: unexpected InvAck")
@@ -289,7 +300,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			e.grantWrite(m, en, p.req)
 		}
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		en.drop(msg.Src)
 		if en.owner == msg.Src {
@@ -333,8 +344,9 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if txn == nil || !txn.Write {
 			panic("limitless: WriteReply without matching write txn")
 		}
+		// The home gate's release rides on the reply itself (RelHome):
+		// the machine runs it as a companion event at the home.
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, nil)
-		m.ReleaseHome(msg.Block)
 	case coherent.MsgInv:
 		m.Invalidate(n, msg.Block)
 		m.Send(&coherent.Msg{
@@ -375,7 +387,7 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 
 // DescribeBlock implements coherent.BlockDumper for stall diagnostics.
 func (e *Engine) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		return "uncached (no entry)"
 	}

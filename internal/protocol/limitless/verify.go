@@ -3,7 +3,6 @@ package limitless
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"dircc/internal/coherent"
 )
@@ -12,13 +11,11 @@ import (
 
 // CanonState implements coherent.ProtocolState.
 func (e *Engine) CanonState(w io.Writer) {
-	blocks := make([]coherent.BlockID, 0, len(e.entries))
-	for b := range e.entries {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for _, b := range blocks {
-		en := e.entries[b]
+	for _, b := range e.m.DirBlocks() {
+		en, ok := e.m.Dir(b).(*entry)
+		if !ok {
+			continue
+		}
 		if en.state == uncached && len(en.hw) == 0 && len(en.sw) == 0 &&
 			en.owner == coherent.NoNode && en.pend == nil {
 			continue
@@ -40,7 +37,7 @@ func (e *Engine) CanonState(w io.Writer) {
 // pointers, the software-spilled set, and the owner together record
 // every copy (LimitLESS is exact, like the full map).
 func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}

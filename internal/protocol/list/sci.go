@@ -117,7 +117,7 @@ func (e *SCI) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 			// home supplies the data directly.
 			en.state = shared
 			en.head = msg.Requester
-			m.ReadMem(func() {
+			m.ReadMem(b, func() {
 				e.markServed(m, msg.Requester, b)
 				m.Send(&coherent.Msg{
 					Type: coherent.MsgDataReply, Src: home, Dst: msg.Requester, Block: b,
@@ -169,7 +169,7 @@ func (e *SCI) grantWrite(m *coherent.Machine, en *sciEntry, msg *coherent.Msg) {
 	en.state = dirty
 	en.owner = msg.Requester
 	en.head = msg.Requester
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),

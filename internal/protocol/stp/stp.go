@@ -181,7 +181,7 @@ func (e *Engine) directReply(m *coherent.Machine, en *entry, msg *coherent.Msg) 
 	b := msg.Block
 	en.state = shared
 	en.root = msg.Requester
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		e.markServed(m, msg.Requester, b)
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgDataReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
@@ -216,7 +216,7 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	en.state = dirty
 	en.owner = msg.Requester
 	en.root = msg.Requester
-	m.ReadMem(func() {
+	m.ReadMem(b, func() {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
@@ -255,7 +255,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if oldRoot != coherent.NoNode && oldRoot != req.Requester {
 			ptrs = []coherent.NodeID{oldRoot}
 		}
-		m.ReadMem(func() {
+		m.ReadMem(b, func() {
 			e.markServedPending(m, p, b)
 			m.Send(&coherent.Msg{
 				Type: coherent.MsgDataReply, Src: m.Home(b), Dst: req.Requester, Block: b,

@@ -30,3 +30,38 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkShardedScheduleRun measures the same schedule+pop cycle on
+// the time-windowed parallel kernel's intra-shard hot path: every
+// event reschedules onto its own node, so the work stays inside one
+// lane's heap and never crosses the mailbox. Like the sequential
+// engine, this path must be allocation-free in steady state — the
+// per-lane provisional queues and act logs are reused across waves.
+func BenchmarkShardedScheduleRun(b *testing.B) {
+	const nodes = 16
+	s := NewSharded(nodes, 4)
+	// Each node owns its chain and counter, so lanes never share state
+	// during the parallel phase.
+	remaining := make([]int64, nodes)
+	for n := range remaining {
+		remaining[n] = int64(b.N) / nodes
+	}
+	ticks := make([]func(), nodes)
+	for n := 0; n < nodes; n++ {
+		n := n
+		ticks[n] = func() {
+			if r := remaining[n]; r > 0 {
+				remaining[n] = r - 1
+				s.ScheduleNode(n, Time(r%7+1), ticks[n])
+			}
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		s.ScheduleNode(n, Time(n%7+1), ticks[n])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

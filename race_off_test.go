@@ -1,0 +1,5 @@
+//go:build !race
+
+package dircc
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package dircc
+
+// raceEnabled trims the sharded-determinism grid under `make race`:
+// the detector's slowdown makes the full four-shard-count sweep
+// impractically slow, and two shard counts already drive every
+// cross-lane synchronization path.
+const raceEnabled = true
