@@ -16,6 +16,13 @@
 // -gate exits 1 when any benchmark's ns/op regressed by more than
 // -threshold (default 0.10 = 10%). Benchmarks present on only one side
 // never gate. Usage errors exit 2.
+//
+// -kprof-old/-kprof-new compare two kernel-profile JSON documents (the
+// sweep's -kprof-json output): rows are matched by grid coordinate and
+// the coordination-overhead, serial-fraction, and parallel-efficiency
+// deltas are printed. Kernel-profile deltas are wall-clock derived and
+// machine-load dependent, so they are always warn-only — they never
+// trip -gate.
 package main
 
 import (
@@ -24,8 +31,10 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 
 	"dircc/internal/benchfmt"
+	"dircc/internal/kprof"
 )
 
 func main() {
@@ -40,8 +49,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	title := fs.String("title", "", "title to tag the emitted snapshot with")
 	gate := fs.Bool("gate", false, "exit 1 when any ns/op regression exceeds -threshold")
 	threshold := fs.Float64("threshold", 0.10, "relative ns/op regression the gate tolerates")
+	kprofOld := fs.String("kprof-old", "", "baseline kernel-profile JSON (sweep -kprof-json output)")
+	kprofNew := fs.String("kprof-new", "", "new kernel-profile JSON to compare against -kprof-old")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if (*kprofOld == "") != (*kprofNew == "") {
+		fmt.Fprintln(stderr, "benchdiff: -kprof-old and -kprof-new must be given together")
+		return 2
+	}
+	if *kprofOld != "" {
+		if err := kprofDiff(stdout, *kprofOld, *kprofNew); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 1
+		}
+		if len(fs.Args()) == 0 {
+			return 0
+		}
 	}
 
 	inputs := fs.Args()
@@ -103,4 +128,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// kprofDiff prints coordination-overhead deltas between two kernel-
+// profile row documents, matching rows by grid coordinate. Warn-only:
+// wall-clock attribution depends on host load, so deltas inform but
+// never gate.
+func kprofDiff(w io.Writer, oldPath, newPath string) error {
+	oldRows, err := kprof.LoadRows(oldPath)
+	if err != nil {
+		return err
+	}
+	newRows, err := kprof.LoadRows(newPath)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]*kprof.Report, len(oldRows))
+	for i := range oldRows {
+		if oldRows[i].Report != nil {
+			base[oldRows[i].Key()] = oldRows[i].Report
+		}
+	}
+	fmt.Fprintf(w, "kernel-profile deltas (%s -> %s), warn-only:\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-36s %8s  %22s  %22s  %22s\n", "experiment", "shards", "coord-overhead", "serial-fraction", "parallel-efficiency")
+	sort.Slice(newRows, func(i, j int) bool { return newRows[i].Key() < newRows[j].Key() })
+	matched := 0
+	for i := range newRows {
+		nr := &newRows[i]
+		if nr.Report == nil {
+			continue
+		}
+		o, ok := base[nr.Key()]
+		if !ok {
+			fmt.Fprintf(w, "%-36s %8d  (new row; no baseline)\n", nr.Key(), nr.Shards)
+			continue
+		}
+		matched++
+		delta := func(ov, nv float64) string {
+			return fmt.Sprintf("%.3f -> %.3f (%+.3f)", ov, nv, nv-ov)
+		}
+		fmt.Fprintf(w, "%-36s %8d  %22s  %22s  %22s\n", nr.Key(), nr.Shards,
+			delta(o.CoordOverhead, nr.Report.CoordOverhead),
+			delta(o.SerialFraction, nr.Report.SerialFraction),
+			delta(o.ParallelEfficiency, nr.Report.ParallelEfficiency))
+	}
+	fmt.Fprintf(w, "%d of %d rows matched a baseline\n", matched, len(newRows))
+	return nil
 }

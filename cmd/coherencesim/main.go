@@ -18,6 +18,13 @@
 // command exit 2). -attrib prints the per-transaction latency
 // attribution (phase breakdown, critical path, invalidation-wave
 // structure). -json prints the result as JSON instead of text.
+//
+// With -shards N (N>1) the run uses the deterministic parallel kernel;
+// -kprof then prints the kernel profile (per-lane busy/idle, wave
+// structure, coordinator overhead, Amdahl attribution) after the
+// counters, -kprof-json / -kprof-trace export it as JSON / a Chrome
+// trace, and -explain-shards prints why the run would (or would not)
+// shard — without running it.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"dircc"
 	"dircc/internal/attrib"
+	"dircc/internal/kprof"
 	"dircc/internal/trace"
 )
 
@@ -48,6 +56,10 @@ func main() {
 	watchdogJSON := flag.Bool("watchdog-json", false, "emit watchdog reports as machine-readable JSON lines")
 	attribOut := flag.Bool("attrib", false, "print the per-transaction latency attribution after the counters")
 	jsonOut := flag.Bool("json", false, "print the result as JSON instead of text")
+	kprofOut := flag.Bool("kprof", false, "print the parallel-kernel profile after the counters (needs -shards > 1)")
+	kprofJSON := flag.String("kprof-json", "", "write the kernel profile as JSON here (needs -shards > 1)")
+	kprofTrace := flag.String("kprof-trace", "", "write the kernel lane timeline as a Chrome trace here (needs -shards > 1)")
+	explainShards := flag.Bool("explain-shards", false, "print the shard plan (effective shard count and fallback reason) and exit without running")
 	flag.Parse()
 
 	var oc *dircc.ObsConfig
@@ -63,12 +75,38 @@ func main() {
 		}
 	}
 
+	wantKProf := *kprofOut || *kprofJSON != "" || *kprofTrace != ""
+	var prof *kprof.Profile
+	if wantKProf {
+		if *shards <= 1 {
+			fail(fmt.Errorf("-kprof/-kprof-json/-kprof-trace profile the parallel kernel; run with -shards > 1"))
+		}
+		prof = &kprof.Profile{}
+	}
+
+	if *explainShards {
+		exp := dircc.Experiment{
+			App: *app, Protocol: *protocol, Procs: *procs, Full: *full, Check: *check,
+			Shards: *shards, Obs: oc,
+		}
+		plan, perr := dircc.ExplainShards(exp)
+		if perr != nil {
+			fail(perr)
+		}
+		fmt.Printf("requested shards: %d\neffective shards: %d\nreason: %s\n%s\n",
+			plan.Requested, plan.Shards, plan.ReasonToken, plan.Reason.Describe())
+		return
+	}
+
 	var r *dircc.Result
 	var err error
 	switch {
 	case *replay != "":
 		if oc != nil {
 			fail(fmt.Errorf("-trace/-timeseries/-watchdog are not supported with -replay"))
+		}
+		if prof != nil {
+			fail(fmt.Errorf("-kprof is not supported with -replay (trace replay is sequential)"))
 		}
 		f, ferr := os.Open(*replay)
 		if ferr != nil {
@@ -90,6 +128,9 @@ func main() {
 	case *record != "":
 		if oc != nil {
 			fail(fmt.Errorf("-trace/-timeseries/-watchdog are not supported with -record"))
+		}
+		if prof != nil {
+			fail(fmt.Errorf("-kprof is not supported with -record (trace recording is sequential)"))
 		}
 		exp := dircc.Experiment{App: *app, Protocol: *protocol, Procs: *procs, Full: *full, Check: *check}
 		var tr *dircc.Trace
@@ -115,9 +156,14 @@ func main() {
 			App: *app, Protocol: *protocol, Procs: *procs, Full: *full, Check: *check,
 			Shards: *shards,
 			Obs:    oc,
+			KProf:  prof,
 		})
 		if err != nil {
 			fail(err)
+		}
+		if *shards > 1 && r.ShardPlan.Fallback() {
+			fmt.Fprintf(os.Stderr, "coherencesim: requested %d shards but ran sequentially (%s: %s)\n",
+				r.ShardPlan.Requested, r.ShardPlan.ReasonToken, r.ShardPlan.Reason.Describe())
 		}
 		if !*jsonOut {
 			fmt.Printf("workload %s, protocol %s, %d processors (full=%v)\n",
@@ -146,6 +192,23 @@ func main() {
 		}
 	}
 
+	if r.KProf != nil {
+		if *kprofJSON != "" {
+			writeFile(*kprofJSON, func(f *os.File) error { return r.KProf.JSON(f) })
+			if !*jsonOut {
+				fmt.Printf("kernel profile: written to %s\n", *kprofJSON)
+			}
+		}
+		if *kprofTrace != "" {
+			writeFile(*kprofTrace, func(f *os.File) error { return prof.WriteChromeTrace(f) })
+			if !*jsonOut {
+				fmt.Printf("kernel lane timeline: written to %s\n", *kprofTrace)
+			}
+		}
+	} else if wantKProf {
+		fmt.Fprintln(os.Stderr, "coherencesim: no kernel profile collected (the run fell back to the sequential kernel)")
+	}
+
 	stalled := r.Probe != nil && r.Probe.Watchdog != nil && r.Probe.Watchdog.Stalled()
 	if *jsonOut {
 		out := struct {
@@ -157,6 +220,7 @@ func main() {
 			Cycles   uint64          `json:"cycles"`
 			Counters *dircc.Counters `json:"counters"`
 			Attrib   *attrib.Report  `json:"attrib,omitempty"`
+			KProf    *kprof.Report   `json:"kprof,omitempty"`
 			Stalled  bool            `json:"stalled,omitempty"`
 		}{
 			App: r.Experiment.App, Protocol: r.Experiment.Protocol,
@@ -167,6 +231,7 @@ func main() {
 		if r.Attrib != nil {
 			out.Attrib = r.Attrib.Report()
 		}
+		out.KProf = r.KProf
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -177,6 +242,10 @@ func main() {
 		if r.Attrib != nil {
 			fmt.Println()
 			r.Attrib.Report().WriteTable(os.Stdout)
+		}
+		if *kprofOut && r.KProf != nil {
+			fmt.Println()
+			r.KProf.WriteTable(os.Stdout)
 		}
 	}
 	if stalled {

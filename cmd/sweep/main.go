@@ -25,6 +25,8 @@
 //	sweep -trace-dir traces -timeseries-dir ts   # per-experiment exports
 //	sweep -attrib attrib.csv -attrib-json attrib.json
 //	sweep -http :8080                            # live telemetry
+//	sweep -shards 4 -kprof kprof.csv -kprof-json kprof.json  # kernel profile
+//	sweep -shards 8 -explain-shards              # which runs parallelize, and why not
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 
 	"dircc"
 	"dircc/internal/attrib"
+	"dircc/internal/kprof"
 )
 
 func main() {
@@ -60,6 +63,9 @@ func main() {
 	attribOut := flag.String("attrib", "", "write per-experiment latency-attribution CSV to this file")
 	attribJSONOut := flag.String("attrib-json", "", "write per-experiment latency-attribution JSON to this file")
 	httpAddr := flag.String("http", "", "serve live sweep telemetry on this address (e.g. :8080)")
+	kprofOut := flag.String("kprof", "", "profile the parallel kernel and write per-experiment speedup-attribution CSV to this file")
+	kprofJSONOut := flag.String("kprof-json", "", "profile the parallel kernel and write per-experiment speedup-attribution JSON to this file")
+	explainShards := flag.Bool("explain-shards", false, "print each grid point's shard plan (effective shards and fallback reason) and exit without running")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -138,6 +144,38 @@ func main() {
 		}
 	}
 
+	// Kernel profiling: each experiment owns a profile (experiments run
+	// concurrently). Inert on runs that fall back to the sequential
+	// kernel. Profiling is also implied by -http so the dashboard can
+	// show live lane activity without a separate opt-in.
+	wantKProf := *kprofOut != "" || *kprofJSONOut != "" || *httpAddr != ""
+	if wantKProf && *shards > 1 {
+		for i := range exps {
+			exps[i].KProf = &kprof.Profile{}
+		}
+	}
+
+	if *explainShards {
+		fallbacks := 0
+		fmt.Println("app,scheme,procs,topology,requested,effective,reason,detail")
+		for _, exp := range exps {
+			plan, err := dircc.ExplainShards(exp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			if plan.Fallback() {
+				fallbacks++
+			}
+			fmt.Printf("%s,%s,%d,%s,%d,%d,%s,%q\n",
+				exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"),
+				plan.Requested, plan.Shards, plan.ReasonToken, plan.Reason.Describe())
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d grid points would fall back to the sequential kernel\n",
+			fallbacks, len(exps))
+		return
+	}
+
 	// Live telemetry server. Each experiment gets its own ObsConfig so
 	// the monitor can hand it a private gauge.
 	var monitor *dircc.SweepMonitor
@@ -154,6 +192,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep: telemetry server:", err)
 		})
 		fmt.Fprintf(os.Stderr, "sweep: live telemetry on http://localhost%s/ (metrics at /metrics)\n", *httpAddr)
+		if *shards > 1 {
+			for i := range exps {
+				monitor.AttachKProf(i, exps[i].KProf)
+			}
+		}
 	}
 	if needObs {
 		for i := range exps {
@@ -207,6 +250,7 @@ func main() {
 
 	fmt.Println(dircc.SweepCSVHeader())
 	failed := false
+	fallbacks := 0
 	var baseline uint64 // fm cycles of the current (app, topology, procs) group
 	for i, res := range results {
 		exp := exps[i]
@@ -220,6 +264,12 @@ func main() {
 			continue
 		}
 		r := res.Result
+		if r.ShardPlan.Fallback() {
+			fallbacks++
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%d/%s: -shards %d fell back to the sequential kernel: %s (%s)\n",
+				exp.App, exp.Protocol, exp.Procs, orDefault(exp.Topology, "hypercube"),
+				r.ShardPlan.Requested, r.ShardPlan.ReasonToken, r.ShardPlan.Reason.Describe())
+		}
 		if r.Probe != nil && r.Probe.Watchdog != nil && r.Probe.Watchdog.Stalled() {
 			// A stalled run still quiesced (livelock episodes can
 			// resolve), but CI must notice: the watchdog fired, so the
@@ -240,6 +290,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			failed = true
 		}
+		if err := dircc.WriteKProfTrace(exp, *traceDir); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			failed = true
+		}
+	}
+	if *shards > 1 && fallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d experiments fell back to the sequential kernel (run -explain-shards for the full table)\n",
+			fallbacks, len(results))
 	}
 	if wantAttrib {
 		if err := writeAttrib(exps, results, *attribOut, *attribJSONOut); err != nil {
@@ -247,9 +305,63 @@ func main() {
 			failed = true
 		}
 	}
+	if *kprofOut != "" || *kprofJSONOut != "" {
+		if err := writeKProf(exps, results, *kprofOut, *kprofJSONOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeKProf emits the per-experiment kernel-profile reports as CSV
+// and/or JSON, mirroring writeAttrib. Experiments that ran on the
+// sequential kernel carry no report and are skipped — the fallback
+// warnings already name them.
+func writeKProf(exps []dircc.Experiment, results []dircc.ResultOrErr, csvPath, jsonPath string) error {
+	var rows []kprof.Row
+	for i, res := range results {
+		if res.Err != nil || res.Result == nil || res.Result.KProf == nil {
+			continue
+		}
+		exp := exps[i]
+		rows = append(rows, kprof.Row{
+			App: exp.App, Scheme: exp.Protocol, Procs: exp.Procs,
+			Topology: orDefault(exp.Topology, "hypercube"),
+			Shards:   res.Result.ShardPlan.Shards,
+			Report:   res.Result.KProf,
+		})
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "app,scheme,procs,topology,%s\n", strings.Join(kprof.CSVHeader(), ","))
+		for _, r := range rows {
+			fmt.Fprintf(f, "%s,%s,%d,%s,%s\n", r.App, r.Scheme, r.Procs, r.Topology,
+				strings.Join(r.Report.CSVRow(), ","))
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := kprof.WriteRows(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeAttrib emits the per-experiment latency-attribution reports as

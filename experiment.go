@@ -9,6 +9,7 @@ import (
 	"dircc/internal/apps"
 	"dircc/internal/attrib"
 	"dircc/internal/coherent"
+	"dircc/internal/kprof"
 	"dircc/internal/obs"
 	"dircc/internal/proc"
 	"dircc/internal/topology"
@@ -53,14 +54,24 @@ type Experiment struct {
 	// byte-identical to the sequential engine at every shard count.
 	// 0 or 1 selects the sequential kernel. Values above 1 apply only
 	// when the run is eligible — the protocol engine is shard-safe and
-	// the run uses no checker, no observability probes, and no
-	// memory-resident locks — and silently fall back to the sequential
-	// kernel otherwise, so sweeps can set Shards unconditionally.
+	// the run uses no checker, no event-stream observability (trace or
+	// attribution; watchdog/sampler/gauge are shard-compatible), and no
+	// memory-resident locks — and fall back to the sequential kernel
+	// otherwise, so sweeps can set Shards unconditionally. The
+	// structured fallback reason is returned in Result.ShardPlan and
+	// queryable up front via ExplainShards.
 	Shards int
 	// Obs selects observability instruments for the run; nil (the
 	// default) disables all probing, preserving the allocation-free hot
 	// path and bit-identical statistics.
 	Obs *ObsConfig
+	// KProf, when non-nil, attaches a kernel profile to the run's
+	// parallel kernel (see internal/kprof); the folded report is
+	// returned in Result.KProf. Inert on sequential runs — S<=1 uses
+	// the plain event loop, which has no kernel structure to profile.
+	// The caller owns the profile (one per concurrently running
+	// experiment).
+	KProf *kprof.Profile
 }
 
 // ObsConfig selects which observability instruments to attach to a
@@ -120,6 +131,131 @@ func (oc *ObsConfig) probe(ctr *Counters) (*obs.Probe, *attrib.Collector) {
 	return p, col
 }
 
+// needsEventStream reports whether the config enables a component that
+// consumes the totally-ordered per-event stream — the only instruments
+// incompatible with the parallel kernel. Watchdog, sampler, and gauge
+// are driven from the kernel's coordinator tick instead and shard
+// cleanly.
+func (oc *ObsConfig) needsEventStream() bool {
+	return oc != nil && (oc.Trace || oc.Attrib)
+}
+
+// ShardReason explains a shard-plan decision.
+type ShardReason int
+
+const (
+	// ShardOK: the run is eligible and uses the requested shard count.
+	ShardOK ShardReason = iota
+	// ShardSequentialRequested: the experiment asked for Shards <= 1.
+	ShardSequentialRequested
+	// ShardCheckedRun: the coherence monitor inspects all caches at
+	// completion events, which is inherently cross-lane.
+	ShardCheckedRun
+	// ShardMemLocks: memory-resident ticket locks arbitrate through
+	// global state the lanes would contend on.
+	ShardMemLocks
+	// ShardObsEventStream: an event-stream instrument (trace or latency
+	// attribution) needs the sequential engine's total event order.
+	ShardObsEventStream
+	// ShardEngineUnsafe: the protocol engine does not declare itself
+	// shard-safe (chain/tree families splice peer-node metadata).
+	ShardEngineUnsafe
+)
+
+// String returns the short machine-readable reason token (logged by
+// the CLIs and asserted by the -explain-shards tests).
+func (r ShardReason) String() string {
+	switch r {
+	case ShardOK:
+		return "ok"
+	case ShardSequentialRequested:
+		return "sequential-requested"
+	case ShardCheckedRun:
+		return "checked-run"
+	case ShardMemLocks:
+		return "mem-locks"
+	case ShardObsEventStream:
+		return "obs-event-stream"
+	case ShardEngineUnsafe:
+		return "engine-not-shard-safe"
+	}
+	return fmt.Sprintf("ShardReason(%d)", int(r))
+}
+
+// Describe returns the human-readable explanation.
+func (r ShardReason) Describe() string {
+	switch r {
+	case ShardOK:
+		return "eligible for the parallel kernel"
+	case ShardSequentialRequested:
+		return "sequential kernel requested (shards <= 1)"
+	case ShardCheckedRun:
+		return "coherence checker inspects all caches cross-lane"
+	case ShardMemLocks:
+		return "memory-resident ticket locks serialize on global state"
+	case ShardObsEventStream:
+		return "event trace / latency attribution needs the sequential total event order"
+	case ShardEngineUnsafe:
+		return "protocol engine is not shard-safe (cross-node chain/tree surgery)"
+	}
+	return r.String()
+}
+
+// ShardPlan is the structured outcome of shard-eligibility resolution:
+// the shard count a run will actually use and why.
+type ShardPlan struct {
+	// Requested is Experiment.Shards as given.
+	Requested int `json:"requested"`
+	// Shards is the effective lane count (1 = sequential kernel).
+	Shards int `json:"shards"`
+	// Reason explains the decision; ShardOK when Shards == Requested.
+	Reason ShardReason `json:"-"`
+	// ReasonToken is Reason.String(), carried for JSON consumers.
+	ReasonToken string `json:"reason"`
+}
+
+// Fallback reports whether parallel simulation was requested but the
+// run fell back to the sequential kernel.
+func (p ShardPlan) Fallback() bool { return p.Requested > 1 && p.Shards <= 1 }
+
+// shardPlan resolves the shard count a run actually uses, mirroring
+// the sharded machine's restrictions. Fallback order is most-specific
+// first: explicit sequential request, checker, locks, event-stream
+// observability, then engine safety.
+func (exp Experiment) shardPlan(eng Engine) ShardPlan {
+	plan := ShardPlan{Requested: exp.Shards, Shards: 1}
+	switch {
+	case exp.Shards <= 1:
+		plan.Reason = ShardSequentialRequested
+	case exp.Check:
+		plan.Reason = ShardCheckedRun
+	case exp.MemLocks:
+		plan.Reason = ShardMemLocks
+	case exp.Obs.needsEventStream():
+		plan.Reason = ShardObsEventStream
+	default:
+		if ss, ok := eng.(coherent.ShardSafe); !ok || !ss.ShardSafeEngine() {
+			plan.Reason = ShardEngineUnsafe
+		} else {
+			plan.Reason = ShardOK
+			plan.Shards = exp.Shards
+		}
+	}
+	plan.ReasonToken = plan.Reason.String()
+	return plan
+}
+
+// ExplainShards resolves an experiment's shard plan without running
+// it: which kernel it would use and, for fallbacks, the structured
+// reason. The CLIs surface this as -explain-shards.
+func ExplainShards(exp Experiment) (ShardPlan, error) {
+	eng, err := NewEngine(exp.Protocol)
+	if err != nil {
+		return ShardPlan{}, err
+	}
+	return exp.shardPlan(eng), nil
+}
+
 // Result is the outcome of one experiment.
 type Result struct {
 	Experiment Experiment
@@ -133,6 +269,12 @@ type Result struct {
 	// Attrib holds the latency-attribution collector attached via
 	// ObsConfig.Attrib; nil when attribution was off.
 	Attrib *attrib.Collector
+	// ShardPlan records which kernel the run used and, for fallbacks,
+	// the structured reason.
+	ShardPlan ShardPlan
+	// KProf holds the folded kernel-profile report when
+	// Experiment.KProf was set and the run used the parallel kernel.
+	KProf *kprof.Report
 }
 
 // RunExperiment executes one experiment and verifies the workload's
@@ -155,7 +297,8 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 4_000_000_000
 	}
-	m, err := newMachineFor(cfg, eng, exp.Topology, exp.effectiveShards(eng))
+	plan := exp.shardPlan(eng)
+	m, err := newMachineFor(cfg, eng, exp.Topology, plan.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +308,9 @@ func RunExperiment(exp Experiment) (*Result, error) {
 		probe, col = exp.Obs.probe(m.Ctr)
 		m.AttachProbe(probe)
 	}
+	if exp.KProf != nil && plan.Shards > 1 {
+		m.AttachKProf(exp.KProf)
+	}
 	body, check := app.Prepare(m)
 	cycles, err := proc.Run(m, body)
 	if err != nil {
@@ -173,27 +319,11 @@ func RunExperiment(exp Experiment) (*Result, error) {
 	if err := check(); err != nil {
 		return nil, fmt.Errorf("dircc: %s/%s/%d produced a wrong answer: %w", exp.App, exp.Protocol, exp.Procs, err)
 	}
-	return &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr, Probe: probe, Attrib: col}, nil
-}
-
-// effectiveShards decides the shard count a run actually uses:
-// exp.Shards when the run is eligible for the parallel kernel, 1
-// otherwise. Eligibility mirrors the sharded machine's restrictions —
-// a shard-safe engine, no checker, no observability probes, and no
-// memory-resident locks (whose ticket arbitration is global state the
-// lanes would contend on). Ineligible runs fall back to the sequential
-// kernel, which produces the same results anyway.
-func (exp Experiment) effectiveShards(eng Engine) int {
-	if exp.Shards <= 1 {
-		return 1
+	res := &Result{Experiment: exp, Cycles: uint64(cycles), Counters: m.Ctr, Probe: probe, Attrib: col, ShardPlan: plan}
+	if exp.KProf != nil && plan.Shards > 1 {
+		res.KProf = exp.KProf.Report()
 	}
-	if exp.Check || exp.MemLocks || exp.Obs != nil {
-		return 1
-	}
-	if ss, ok := eng.(coherent.ShardSafe); !ok || !ss.ShardSafeEngine() {
-		return 1
-	}
-	return exp.Shards
+	return res, nil
 }
 
 // newMachineFor builds a machine on the named interconnect, simulated

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"dircc/internal/cache"
+	"dircc/internal/kprof"
 	"dircc/internal/network"
 	"dircc/internal/obs"
 	"dircc/internal/sim"
@@ -134,6 +135,26 @@ type Machine struct {
 
 	proto Engine
 
+	// kprof is the kernel profiling layer, non-nil only when attached
+	// via AttachKProf on a sharded machine. It observes only kernel
+	// structure (waves, lanes, replay) on the host clock, never the
+	// simulated event stream, so — unlike Probe — it composes with the
+	// parallel kernel.
+	kprof *kprof.Profile
+
+	// shardProbe holds the shard-compatible subset of an attached probe
+	// (watchdog, sampler, gauge) on sharded machines, where Probe stays
+	// nil so the per-event hot-path hooks remain disabled. Driven from
+	// the kernel's coordinator tick, never from lane goroutines.
+	shardProbe *obs.Probe
+
+	// laneProg tracks, per lane, the last simulated cycle at which one
+	// of the lane's nodes retired an operation — the sharded watchdog's
+	// progress signal. Each slot is written only by its owning lane
+	// (cache-line padded) and read by the coordinator after the wave
+	// barrier. Nil unless a watchdog is attached to a sharded machine.
+	laneProg []laneClock
+
 	// shard is the time-windowed parallel kernel, non-nil when the
 	// machine was built with NewShardedMachineOn. Exactly one of Eng
 	// and shard is non-nil.
@@ -192,6 +213,13 @@ const txnSlots = 4
 type gate struct {
 	busy  bool
 	queue []*Msg
+}
+
+// laneClock is one lane's progress timestamp, padded so adjacent lanes
+// never share a cache line.
+type laneClock struct {
+	t uint64
+	_ [7]uint64
 }
 
 // NewMachine builds a machine over a hypercube sized for cfg.Procs.
@@ -429,6 +457,9 @@ func (m *Machine) ReplaySend(lane, idx int) {
 	if idx == len(m.sendLogs[lane])-1 {
 		m.sendLogs[lane] = m.sendLogs[lane][:0]
 	}
+	if msg.RelHome && m.kprof != nil {
+		m.kprof.NoteRelHome()
+	}
 	m.sendNow(msg)
 }
 
@@ -477,13 +508,16 @@ func (m *Machine) markHomeCommit(msg *Msg) {
 // start feeding p, the kernel ticks it per event, and the network
 // reports transport timing. A watchdog without a dump function gets
 // the machine's state dump. Call before running the workload.
+//
+// On a sharded machine only the event-stream components (Trace, Sinks)
+// are rejected — they need the sequential engine's total event order.
+// Watchdog, sampler, and gauge attach fine: they are driven from the
+// coordinator's per-sub-round tick instead of per-event hooks, with
+// per-lane progress slots folded after the wave barrier.
 func (m *Machine) AttachProbe(p *obs.Probe) {
-	if m.shard != nil && p != nil {
-		// The probe contract is a single totally-ordered event stream;
-		// the sharded kernel's parallel phases would interleave it.
-		// Observability runs ride the sequential engine (RunExperiment
-		// falls back automatically).
-		panic("coherent: observability requires the sequential engine")
+	if m.shard != nil {
+		m.attachShardProbe(p)
+		return
 	}
 	m.Probe = p
 	if p == nil {
@@ -512,6 +546,124 @@ func (m *Machine) AttachProbe(p *obs.Probe) {
 	if p.Watchdog != nil && p.Watchdog.Dump == nil {
 		p.Watchdog.Dump = m.DumpState
 	}
+}
+
+// attachShardProbe wires the shard-compatible observability components
+// (watchdog, sampler, gauge) into a sharded machine. The event-stream
+// components would need the sequential engine's total event order and
+// are rejected; RunExperiment's shard plan falls back before reaching
+// here, so the panic only catches direct misuse.
+func (m *Machine) attachShardProbe(p *obs.Probe) {
+	if p == nil {
+		m.shardProbe = nil
+		m.laneProg = nil
+		m.shard.SetTick(nil)
+		m.Net.SetProbe(nil)
+		return
+	}
+	if p.Trace != nil || len(p.Sinks) > 0 {
+		panic("coherent: event-stream observability (trace, attribution sinks) requires the sequential engine")
+	}
+	m.shardProbe = p
+	wd := p.Watchdog
+	if wd != nil {
+		if wd.Dump == nil {
+			wd.Dump = m.DumpState
+		}
+		if wd.KernelState == nil {
+			wd.KernelState = m.kernelLaneState
+		}
+		m.laneProg = make([]laneClock, m.shard.Shards())
+	}
+	sampler := p.Sampler
+	if sampler != nil {
+		// The sampler's base counters only see coordinator-side
+		// increments (network transport); the node-side increments live
+		// in the lane sinks until quiesce folds them. Extra reads the
+		// live sinks so interval deltas match the sequential run.
+		sampler.Extra = func() []*stats.Counters { return m.laneCtrs }
+		// Network sends happen on the coordinator (replay) or idle
+		// contexts only, so the transport probe is single-threaded here
+		// exactly as on the sequential engine.
+		m.Net.SetProbe(func(start, arrive, unloaded sim.Time) {
+			p.NetSend(uint64(start), uint64(arrive), uint64(unloaded))
+		})
+	}
+	g := p.Gauge
+	sh := m.shard
+	var lastMax uint64
+	sh.SetTick(func(t sim.Time) {
+		now := uint64(t)
+		if wd != nil {
+			// Fold the per-lane progress slots; only advance the watchdog
+			// when the max moved, so a fired stall report is not reset —
+			// and re-fired — by ticks without real progress.
+			max := lastMax
+			for i := range m.laneProg {
+				if v := m.laneProg[i].t; v > max {
+					max = v
+				}
+			}
+			if max > lastMax {
+				lastMax = max
+				wd.Progress(max)
+			}
+			wd.Check(now)
+		}
+		if sampler != nil {
+			sampler.Advance(now)
+		}
+		if g != nil {
+			g.Note(now, sh.Executed(), sh.Pending())
+		}
+	})
+}
+
+// kernelLaneState snapshots the sharded kernel for watchdog reports:
+// per-lane pending depth and progress, plus the current wave instant.
+// Runs on the coordinator (tick) or after the kernel returns.
+func (m *Machine) kernelLaneState() ([]obs.LaneState, uint64) {
+	out := make([]obs.LaneState, m.shard.Shards())
+	for i := range out {
+		var lp uint64
+		if m.laneProg != nil {
+			lp = m.laneProg[i].t
+		}
+		out[i] = obs.LaneState{Lane: i, Pending: m.shard.LanePending(i), LastProgress: lp}
+	}
+	return out, uint64(m.shard.Now())
+}
+
+// noteProgress records that node n retired an operation, in the lane
+// progress slot the sharded watchdog folds at each sub-round. Written
+// by n's own lane only; no-op unless a sharded watchdog is attached.
+func (m *Machine) noteProgress(n NodeID) {
+	if m.laneProg != nil {
+		m.laneProg[m.shard.LaneOf(int(n))].t = uint64(m.Now())
+	}
+}
+
+// AttachKProf attaches a kernel profile to the machine's parallel
+// kernel. No-op on sequential machines (there is no kernel structure
+// to profile — S=1 runs use the plain event loop). Call before the
+// workload; read the profile after Quiesce.
+func (m *Machine) AttachKProf(p *kprof.Profile) {
+	m.kprof = p
+	if m.shard != nil {
+		m.shard.SetProf(p)
+	}
+}
+
+// KProf returns the attached kernel profile, or nil.
+func (m *Machine) KProf() *kprof.Profile { return m.kprof }
+
+// Executed returns the number of simulated events fired so far, on
+// whichever kernel is live.
+func (m *Machine) Executed() uint64 {
+	if m.shard != nil {
+		return m.shard.Executed()
+	}
+	return m.Eng.Executed()
 }
 
 // Tracing reports whether an event trace is attached. Engines guard
@@ -552,6 +704,16 @@ func (m *Machine) Invalidate(n NodeID, b BlockID) (cache.State, bool) {
 func (m *Machine) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "machine state at cycle %d (%s, %d procs): %d messages in flight\n",
 		m.Now(), m.proto.Name(), m.Cfg.Procs, m.Net.InFlight())
+	if m.shard != nil {
+		for i := 0; i < m.shard.Shards(); i++ {
+			var lp uint64
+			if m.laneProg != nil {
+				lp = m.laneProg[i].t
+			}
+			fmt.Fprintf(w, "  lane %d: %d pending events, last progress at cycle %d\n",
+				i, m.shard.LanePending(i), lp)
+		}
+	}
 	blocks := make(map[BlockID]bool)
 	for n := range m.txns {
 		for _, txn := range m.nodeTxns(NodeID(n)) {
@@ -755,6 +917,7 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		if m.Probe != nil {
 			m.Probe.Progress(uint64(m.Now()))
 		}
+		m.noteProgress(n)
 		m.ScheduleAt(n, m.Cfg.CacheLatency, func() { done(v) })
 		return
 	}
@@ -769,6 +932,7 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 		if m.Probe != nil {
 			m.Probe.Progress(uint64(m.Now()))
 		}
+		m.noteProgress(n)
 		m.ScheduleAt(n, m.Cfg.CacheLatency, func() { done(old) })
 		return
 	}
@@ -893,6 +1057,7 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 	if m.Probe != nil {
 		m.Probe.TxnEnd(uint64(m.Now()), int(txn.Node), uint64(txn.Block), txn.Write)
 	}
+	m.noteProgress(txn.Node)
 
 	m.delTxn(txn)
 	deferred := txn.Deferred
@@ -1086,15 +1251,23 @@ func (m *Machine) SerializeWrite(msg *Msg) {
 // machine state before the error is returned.
 func (m *Machine) Quiesce() error {
 	err := m.quiesce()
-	if m.Probe != nil {
-		if err != nil && m.Probe.Watchdog != nil {
-			m.Probe.Watchdog.FireDrain(uint64(m.Now()), err.Error())
+	p := m.Probe
+	if p == nil {
+		p = m.shardProbe
+	}
+	if p != nil {
+		if err != nil && p.Watchdog != nil {
+			p.Watchdog.FireDrain(uint64(m.Now()), err.Error())
 		}
-		if m.Probe.Sampler != nil {
-			m.Probe.Sampler.Flush(uint64(m.Now()))
+		if p.Sampler != nil {
+			// On sharded machines the lane counter sinks were just merged
+			// into Ctr (and replaced with zeroed sinks), so the flush
+			// capture — main counters plus live sinks — sees the same
+			// totals a sequential run would.
+			p.Sampler.Flush(uint64(m.Now()))
 		}
-		if m.Probe.Gauge != nil {
-			m.Probe.Gauge.Finish(uint64(m.Now()), m.Eng.Executed())
+		if p.Gauge != nil {
+			p.Gauge.Finish(uint64(m.Now()), m.Executed())
 		}
 	}
 	return err

@@ -1,0 +1,80 @@
+package kprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dircc/internal/obs"
+)
+
+// kernelPid separates the kernel-lane tracks from the simulated-node
+// tracks (pid 0) when a kprof trace is merged with an obs trace.
+const kernelPid = 1
+
+// coordTid is the coordinator's thread track; lanes use tids 0..S-1.
+const coordTid = 1 << 20
+
+// WriteChromeTrace exports the recorded per-wave timeline in Chrome
+// trace-event format: one thread track per kernel lane carrying that
+// lane's busy slice for each wave, and a coordinator track carrying
+// the replay slice. Timestamps are host-side microseconds since the
+// run started (this is a wall-clock profile, not simulated time — the
+// simulated instant of each wave rides along in args.at). Load in
+// Perfetto alongside the obs trace to line up kernel waves with
+// protocol activity.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	type chromeFile struct {
+		TraceEvents []obs.ChromeEvent `json:"traceEvents"`
+		Meta        map[string]any    `json:"metadata,omitempty"`
+	}
+	out := chromeFile{}
+	emit := func(ce obs.ChromeEvent) { out.TraceEvents = append(out.TraceEvents, ce) }
+
+	emit(obs.ChromeEvent{Name: "process_name", Ph: "M", Pid: kernelPid, Cat: "__metadata",
+		Args: map[string]any{"name": "kernel lanes"}})
+	for i := 0; i < p.shards; i++ {
+		emit(obs.ChromeEvent{Name: "thread_name", Ph: "M", Pid: kernelPid, Tid: i, Cat: "__metadata",
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", i)}})
+	}
+	emit(obs.ChromeEvent{Name: "thread_name", Ph: "M", Pid: kernelPid, Tid: coordTid, Cat: "__metadata",
+		Args: map[string]any{"name": "coordinator"}})
+
+	us := func(ns int64) uint64 {
+		if ns < 0 {
+			return 0
+		}
+		return uint64(ns) / 1000
+	}
+	for i, at := range p.tlAt {
+		start, phase, replay := p.tlStart[i], p.tlPhase[i], p.tlReplay[i]
+		for lane := 0; lane < p.shards; lane++ {
+			busy := p.tlLaneBusy[i*p.shards+lane]
+			ev := p.tlLaneEvents[i*p.shards+lane]
+			if busy <= 0 && ev == 0 {
+				continue
+			}
+			d := us(busy)
+			if d == 0 {
+				d = 1
+			}
+			emit(obs.ChromeEvent{Name: fmt.Sprintf("wave@%d", at), Cat: "lane", Ph: "X",
+				Ts: us(start), Dur: d, Pid: kernelPid, Tid: lane,
+				Args: map[string]any{"at": at, "events": ev}})
+		}
+		if replay > 0 {
+			d := us(replay)
+			if d == 0 {
+				d = 1
+			}
+			emit(obs.ChromeEvent{Name: fmt.Sprintf("replay@%d", at), Cat: "coord", Ph: "X",
+				Ts: us(start + phase), Dur: d, Pid: kernelPid, Tid: coordTid,
+				Args: map[string]any{"at": at}})
+		}
+	}
+	if p.timelineDropped > 0 {
+		out.Meta = map[string]any{"waves_dropped": p.timelineDropped, "timeline_cap": TimelineCap}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -22,6 +22,15 @@ type Sampler struct {
 	// Interval is the sampling period in simulated cycles.
 	Interval uint64
 
+	// Extra, when non-nil, returns additional counter sinks summed into
+	// every capture. Sharded machines route node-side increments to
+	// per-lane sinks that are folded into the main counters only at
+	// quiesce; Extra lets the sampler see main + live lane sinks so
+	// interval deltas fold identically to a sequential run. The
+	// returned slice is read on the coordinator (tick context), never
+	// during a parallel phase.
+	Extra func() []*stats.Counters
+
 	ctr  *stats.Counters
 	next uint64
 	last sampleState
@@ -98,7 +107,30 @@ func (s *Sampler) Flush(now uint64) {
 }
 
 func (s *Sampler) capture() sampleState {
-	c := s.ctr
+	st := captureOne(s.ctr)
+	if s.Extra != nil {
+		for _, c := range s.Extra() {
+			e := captureOne(c)
+			st.messages += e.messages
+			st.bytes += e.bytes
+			st.readMisses += e.readMisses
+			st.writeMisses += e.writeMisses
+			st.readHits += e.readHits
+			st.writeHits += e.writeHits
+			st.invalidations += e.invalidations
+			st.invAcks += e.invAcks
+			st.writebacks += e.writebacks
+			st.directoryBusy += e.directoryBusy
+			st.rmCount += e.rmCount
+			st.rmSum += e.rmSum
+			st.wmCount += e.wmCount
+			st.wmSum += e.wmSum
+		}
+	}
+	return st
+}
+
+func captureOne(c *stats.Counters) sampleState {
 	return sampleState{
 		messages: c.Messages, bytes: c.Bytes,
 		readMisses: c.ReadMisses, writeMisses: c.WriteMisses,

@@ -38,11 +38,28 @@ type Watchdog struct {
 	// single machine-readable JSON object per firing (see Report), for
 	// CI gates that parse watchdog output.
 	JSON bool
+	// KernelState, when non-nil, snapshots the parallel kernel at
+	// report time: per-lane state plus the current wave instant. The
+	// machine wires this on sharded runs so a stalled parallel
+	// simulation names the lane holding the undrained work.
+	KernelState func() ([]LaneState, uint64)
 
 	lastProgress uint64
 	fired        bool
 	drained      bool
 	invCount     map[uint64]uint64
+}
+
+// LaneState is one worker lane's snapshot in a watchdog report from a
+// sharded run.
+type LaneState struct {
+	// Lane is the lane index.
+	Lane int `json:"lane"`
+	// Pending is the lane's queued event count (heap + provisional).
+	Pending int `json:"pending"`
+	// LastProgress is the last cycle at which a node owned by this lane
+	// retired an operation.
+	LastProgress uint64 `json:"last_progress"`
 }
 
 // NewWatchdog returns a watchdog writing to out that fires after
@@ -102,7 +119,11 @@ type Report struct {
 	Now          uint64       `json:"now"`
 	LastProgress uint64       `json:"last_progress"`
 	HotBlocks    []BlockCount `json:"hot_blocks,omitempty"`
-	MachineDump  string       `json:"machine_dump,omitempty"`
+	// Lanes and WaveAt annotate reports from sharded runs (KernelState
+	// wired): per-lane pending depth and the current wave instant.
+	Lanes       []LaneState `json:"lanes,omitempty"`
+	WaveAt      uint64      `json:"wave_at,omitempty"`
+	MachineDump string      `json:"machine_dump,omitempty"`
 }
 
 func (w *Watchdog) report(kind string, now uint64, headline string) {
@@ -115,8 +136,14 @@ func (w *Watchdog) report(kind string, now uint64, headline string) {
 		topK = 10
 	}
 	hot := topBlocks(w.invCount, topK)
+	var lanes []LaneState
+	var waveAt uint64
+	if w.KernelState != nil {
+		lanes, waveAt = w.KernelState()
+	}
 	if w.JSON {
-		r := Report{Kind: kind, Headline: headline, Now: now, LastProgress: w.lastProgress, HotBlocks: hot}
+		r := Report{Kind: kind, Headline: headline, Now: now, LastProgress: w.lastProgress,
+			HotBlocks: hot, Lanes: lanes, WaveAt: waveAt}
 		if w.Dump != nil {
 			var sb strings.Builder
 			w.Dump(&sb)
@@ -132,6 +159,12 @@ func (w *Watchdog) report(kind string, now uint64, headline string) {
 		fmt.Fprintf(out, "hottest blocks by invalidation count:\n")
 		for _, h := range hot {
 			fmt.Fprintf(out, "  block %-8d %d invalidations\n", h.Block, h.Count)
+		}
+	}
+	if len(lanes) > 0 {
+		fmt.Fprintf(out, "kernel lanes at wave %d:\n", waveAt)
+		for _, l := range lanes {
+			fmt.Fprintf(out, "  lane %-3d %d pending, last progress at %d\n", l.Lane, l.Pending, l.LastProgress)
 		}
 	}
 	if w.Dump != nil {

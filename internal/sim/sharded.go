@@ -47,6 +47,8 @@ package sim
 import (
 	"fmt"
 	"sync"
+
+	"dircc/internal/kprof"
 )
 
 // SendReplayer replays one side effect that a lane deferred during
@@ -172,6 +174,17 @@ type Sharded struct {
 
 	replayer SendReplayer
 
+	// prof, when non-nil, receives the kernel profiling hooks (see
+	// internal/kprof). Every hook site is behind a nil check, so an
+	// unprofiled run pays one pointer compare per sub-round section.
+	prof *kprof.Profile
+
+	// tick, when non-nil, runs on the coordinator at the end of every
+	// sub-round (outside Phase P, after rebind). The observability
+	// bridge uses it to drive watchdog/sampler/gauge checks from a
+	// single goroutine without touching the event stream.
+	tick func(Time)
+
 	// MaxEvents, when non-zero, aborts Run with ErrEventBudget once the
 	// fired-event count exceeds it. Unlike the sequential engine the
 	// check happens at sub-round boundaries, so the abort point can
@@ -231,6 +244,24 @@ func (s *Sharded) Pending() int {
 // SetReplayer installs the mailbox side-effect replayer. Required
 // before Run if any Phase-P event defers a send.
 func (s *Sharded) SetReplayer(r SendReplayer) { s.replayer = r }
+
+// SetProf attaches a kernel profile. Must be set before Run; nil
+// detaches. Profiling reads only the host clock and never the
+// simulated state, so results are byte-identical with it on or off.
+func (s *Sharded) SetProf(p *kprof.Profile) { s.prof = p }
+
+// SetTick installs a coordinator-side callback invoked at the end of
+// every sub-round with the round instant. Must be set before Run; the
+// callback must not schedule events.
+func (s *Sharded) SetTick(fn func(Time)) { s.tick = fn }
+
+// LanePending returns the number of events waiting on lane i (heap
+// plus provisional FIFO). Coordinator/idle contexts only — the stall
+// watchdog uses it to annotate dumps.
+func (s *Sharded) LanePending(i int) int {
+	l := s.lanes[i]
+	return len(l.q) + len(l.eq)
+}
 
 // InPhase reports whether the engine is inside Phase P, i.e. whether
 // callers must defer cross-lane side effects. The coherence machine
@@ -387,7 +418,13 @@ func (s *Sharded) replay(T Time) error {
 			if s.MaxEvents != 0 && s.executed > s.MaxEvents {
 				return ErrEventBudget
 			}
-			ev.fn()
+			if p := s.prof; p != nil {
+				t0 := p.Clock()
+				ev.fn()
+				p.NoteGlobalEvent(p.Clock() - t0)
+			} else {
+				ev.fn()
+			}
 			continue
 		}
 		l, c := s.lanes[bestLane], &s.cur[bestLane]
@@ -405,17 +442,32 @@ func (s *Sharded) replay(T Time) error {
 					l.fence = s.seq
 				}
 				c.bi++
+				if s.prof != nil {
+					s.prof.NoteBind(bestLane)
+				}
 			case actSend:
 				if s.replayer == nil {
 					panic("sim: deferred send with no SendReplayer installed")
 				}
-				s.replayer.ReplaySend(bestLane, c.si)
+				if p := s.prof; p != nil {
+					t0 := p.Clock()
+					s.replayer.ReplaySend(bestLane, c.si)
+					p.NoteSendReplay(bestLane, p.Clock()-t0)
+				} else {
+					s.replayer.ReplaySend(bestLane, c.si)
+				}
 				c.si++
 			case actGlobal:
 				fn := l.gfns[c.gi]
 				l.gfns[c.gi] = nil
 				c.gi++
-				fn()
+				if p := s.prof; p != nil {
+					t0 := p.Clock()
+					fn()
+					p.NoteGlobalOp(bestLane, p.Clock()-t0)
+				} else {
+					fn()
+				}
 			}
 			c.ai++
 		}
@@ -468,19 +520,32 @@ func (s *Sharded) Run() error {
 	if s.state != stateIdle {
 		panic("sim: Sharded.Run re-entered")
 	}
+	prof := s.prof
+	if prof != nil {
+		prof.Start(len(s.lanes))
+	}
 	work := make([]chan Time, len(s.lanes))
 	done := make(chan struct{}, len(s.lanes))
 	var wg sync.WaitGroup
 	for i := range s.lanes {
 		work[i] = make(chan Time, 1)
 		wg.Add(1)
-		go func(l *lane, in <-chan Time) {
+		go func(li int, l *lane, in <-chan Time) {
 			defer wg.Done()
+			if prof != nil {
+				for t := range in {
+					prof.LaneStart(li)
+					l.run(t)
+					prof.LaneEnd(li)
+					done <- struct{}{}
+				}
+				return
+			}
 			for t := range in {
 				l.run(t)
 				done <- struct{}{}
 			}
-		}(s.lanes[i], work[i])
+		}(i, s.lanes[i], work[i])
 	}
 	defer func() {
 		for _, w := range work {
@@ -488,6 +553,9 @@ func (s *Sharded) Run() error {
 		}
 		wg.Wait()
 		s.state = stateIdle
+		if prof != nil {
+			prof.Finish(s.executed)
+		}
 	}()
 	for {
 		T, ok := s.nextTime()
@@ -498,8 +566,14 @@ func (s *Sharded) Run() error {
 			panic("sim: time went backwards")
 		}
 		s.now = T
+		if prof != nil {
+			prof.RoundStart(uint64(T))
+		}
 		for sub := true; sub; {
 			s.state = statePhase
+			if prof != nil {
+				prof.WaveStart(uint64(T))
+			}
 			for i := range work {
 				work[i] <- T
 			}
@@ -507,8 +581,29 @@ func (s *Sharded) Run() error {
 				<-done
 			}
 			s.state = stateReplay
-			err := s.replay(T)
-			sub = s.rebind(T)
+			if prof != nil {
+				// l.fired is still per-wave here: rebind folds it below.
+				for i, l := range s.lanes {
+					prof.LaneDone(i, l.fired)
+				}
+				prof.WaveBarrier()
+			}
+			var err error
+			if prof != nil {
+				rs := prof.Clock()
+				err = s.replay(T)
+				prof.EndReplay(rs)
+				bs := prof.Clock()
+				sub = s.rebind(T)
+				prof.EndRebind(bs)
+				prof.WaveEnd(s.executed)
+			} else {
+				err = s.replay(T)
+				sub = s.rebind(T)
+			}
+			if s.tick != nil {
+				s.tick(T)
+			}
 			if err == nil && s.MaxEvents != 0 && s.executed > s.MaxEvents {
 				err = ErrEventBudget
 			}

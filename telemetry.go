@@ -5,11 +5,14 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dircc/internal/kprof"
 	"dircc/internal/obs"
 )
 
@@ -27,6 +30,7 @@ type SweepMonitor struct {
 	mu      sync.Mutex
 	exps    []Experiment
 	gauges  []*obs.Gauge
+	kprofs  []*kprof.Profile
 	status  []expStatus
 	started []time.Time
 	elapsed []time.Duration
@@ -68,6 +72,7 @@ func NewSweepMonitor(exps []Experiment, workers int) *SweepMonitor {
 	sm := &SweepMonitor{
 		exps:    exps,
 		gauges:  make([]*obs.Gauge, len(exps)),
+		kprofs:  make([]*kprof.Profile, len(exps)),
 		status:  make([]expStatus, len(exps)),
 		started: make([]time.Time, len(exps)),
 		elapsed: make([]time.Duration, len(exps)),
@@ -88,6 +93,16 @@ func (sm *SweepMonitor) Gauge(i int) *obs.Gauge {
 		sm.gauges[i] = &obs.Gauge{}
 	}
 	return sm.gauges[i]
+}
+
+// AttachKProf registers experiment i's kernel profile so scrapes can
+// surface per-lane busy/idle gauges and wave-width histograms while
+// the sharded kernel runs. Nil profiles are accepted and ignored, so
+// callers can wire a whole grid unconditionally.
+func (sm *SweepMonitor) AttachKProf(i int, p *kprof.Profile) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.kprofs[i] = p
 }
 
 // Start records experiment i being dispatched to a worker. Wire it to
@@ -136,6 +151,11 @@ type ExpSnapshot struct {
 	QueueDepth uint64  `json:"queue_depth"`
 	CycleRate  float64 `json:"cycle_rate"` // simulated cycles per wall second
 	ElapsedSec float64 `json:"elapsed_seconds"`
+
+	// Kernel carries the sharded kernel's live profile (lane busy/idle,
+	// wave structure) when the experiment runs on the parallel kernel
+	// with a kprof.Profile attached; nil otherwise.
+	Kernel *kprof.LiveSnapshot `json:"kernel,omitempty"`
 }
 
 // Snapshot is the progress JSON document.
@@ -192,6 +212,11 @@ func (sm *SweepMonitor) snapshot() Snapshot {
 				es.CycleRate = float64(es.Cycles) / es.ElapsedSec
 			}
 		}
+		if p := sm.kprofs[i]; p != nil && sm.status[i] != statusPending {
+			if ls := p.Live(); ls.Shards > 0 {
+				es.Kernel = &ls
+			}
+		}
 		s.Experiments = append(s.Experiments, es)
 	}
 	return s
@@ -204,9 +229,11 @@ func (sm *SweepMonitor) snapshot() Snapshot {
 // Handler returns the telemetry HTTP handler:
 //
 //	/          self-contained HTML dashboard (polls /progress)
-//	/metrics   Prometheus text exposition
+//	/metrics   Prometheus text exposition (incl. kernel lane gauges)
 //	/progress  live grid state as JSON
 //	/debug/vars expvar (includes the dircc_sweep mirror)
+//	/debug/pprof/   net/http/pprof profiles of the sweep host process
+//	/debug/runtime  runtime/metrics snapshot as JSON
 func (sm *SweepMonitor) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -226,7 +253,45 @@ func (sm *SweepMonitor) Handler() http.Handler {
 		json.NewEncoder(w).Encode(sm.snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", writeRuntimeMetrics)
 	return mux
+}
+
+// writeRuntimeMetrics dumps every supported runtime/metrics sample as
+// a JSON object, so the sweep host's GC, scheduler, and memory state
+// can be inspected next to the simulation's own telemetry.
+func writeRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var count uint64
+			for _, c := range h.Counts {
+				count += c
+			}
+			out[s.Name] = map[string]any{"count": count}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(out)
 }
 
 // writeMetrics renders the Prometheus text exposition format: grid
@@ -268,7 +333,82 @@ func (sm *SweepMonitor) writeMetrics(w interface{ Write([]byte) (int, error) }) 
 				m.name, e.App, e.Scheme, e.Procs, e.Topology, m.value(e))
 		}
 	}
+	sm.writeKernelMetrics(&b, s)
 	w.Write([]byte(b.String()))
+}
+
+// writeKernelMetrics renders the sharded-kernel profile series: one
+// busy/idle/events gauge per lane plus the wave-width distribution as
+// a Prometheus histogram, for every experiment that carries a live
+// kernel profile (running or finished on the parallel kernel).
+func (sm *SweepMonitor) writeKernelMetrics(b *strings.Builder, s Snapshot) {
+	lane := []struct {
+		name, help string
+		value      func(l kprof.LiveLane) float64
+	}{
+		{"dircc_kernel_lane_busy_ns", "Wall ns the lane spent firing events in parallel phases.", func(l kprof.LiveLane) float64 { return float64(l.BusyNs) }},
+		{"dircc_kernel_lane_idle_ns", "Wall ns the lane spent waiting at the wave barrier.", func(l kprof.LiveLane) float64 { return float64(l.IdleNs) }},
+		{"dircc_kernel_lane_events", "Events the lane fired in parallel phases.", func(l kprof.LiveLane) float64 { return float64(l.Events) }},
+	}
+	for _, m := range lane {
+		header := false
+		for _, e := range s.Experiments {
+			if e.Kernel == nil {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)
+				header = true
+			}
+			for li, l := range e.Kernel.Lanes {
+				fmt.Fprintf(b, "%s{app=%q,scheme=%q,procs=\"%d\",topology=%q,lane=\"%d\"} %g\n",
+					m.name, e.App, e.Scheme, e.Procs, e.Topology, li, m.value(l))
+			}
+		}
+	}
+	coord := []struct {
+		name, help string
+		value      func(k *kprof.LiveSnapshot) float64
+	}{
+		{"dircc_kernel_waves", "Parallel sub-rounds executed.", func(k *kprof.LiveSnapshot) float64 { return float64(k.Waves) }},
+		{"dircc_kernel_phase_ns", "Wall ns spent in parallel phases.", func(k *kprof.LiveSnapshot) float64 { return float64(k.PhaseNs) }},
+		{"dircc_kernel_replay_ns", "Wall ns the coordinator spent replaying deferred effects.", func(k *kprof.LiveSnapshot) float64 { return float64(k.ReplayNs) }},
+		{"dircc_kernel_rebind_ns", "Wall ns the coordinator spent rebinding provisional events.", func(k *kprof.LiveSnapshot) float64 { return float64(k.RebindNs) }},
+	}
+	for _, m := range coord {
+		header := false
+		for _, e := range s.Experiments {
+			if e.Kernel == nil {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)
+				header = true
+			}
+			fmt.Fprintf(b, "%s{app=%q,scheme=%q,procs=\"%d\",topology=%q} %g\n",
+				m.name, e.App, e.Scheme, e.Procs, e.Topology, m.value(e.Kernel))
+		}
+	}
+	header := false
+	for _, e := range s.Experiments {
+		if e.Kernel == nil || !e.Kernel.WaveWidth.NonZero() {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(b, "# HELP dircc_kernel_wave_width Events fired per wave across all lanes.\n# TYPE dircc_kernel_wave_width histogram\n")
+			header = true
+		}
+		labels := fmt.Sprintf("app=%q,scheme=%q,procs=\"%d\",topology=%q", e.App, e.Scheme, e.Procs, e.Topology)
+		edges, counts := e.Kernel.WaveWidth.BucketEdges()
+		var cum uint64
+		for i, edge := range edges {
+			cum += counts[i]
+			fmt.Fprintf(b, "dircc_kernel_wave_width_bucket{%s,le=\"%d\"} %d\n", labels, edge, cum)
+		}
+		fmt.Fprintf(b, "dircc_kernel_wave_width_bucket{%s,le=\"+Inf\"} %d\n", labels, e.Kernel.WaveWidth.Count)
+		fmt.Fprintf(b, "dircc_kernel_wave_width_sum{%s} %d\n", labels, e.Kernel.WaveWidth.Sum)
+		fmt.Fprintf(b, "dircc_kernel_wave_width_count{%s} %d\n", labels, e.Kernel.WaveWidth.Count)
+	}
 }
 
 // Serve starts an HTTP server for the monitor on addr (e.g. ":8080")
@@ -323,9 +463,17 @@ tr.running td { color: #8fd3ff; } tr.failed td { color: #e08888; } tr.pending td
 <div id="bar"><div id="fill"></div><div id="fail"></div></div>
 <table id="grid"><thead><tr>
 <th>app</th><th>scheme</th><th>procs</th><th>topology</th><th>status</th>
-<th>cycles</th><th>events</th><th>queue</th><th>cycles/s</th><th>wall s</th>
+<th>cycles</th><th>events</th><th>queue</th><th>cycles/s</th><th>wall s</th><th>kernel lanes</th>
 </tr></thead><tbody></tbody></table>
 <script>
+function laneCell(k) {
+  if (!k || !k.lanes || !k.lanes.length) return '';
+  const busy = k.lanes.map(l => {
+    const t = l.busy_ns + l.idle_ns;
+    return t > 0 ? Math.round(100 * l.busy_ns / t) : 0;
+  });
+  return 'S=' + k.shards + ' busy ' + busy.join('/') + '% · ' + k.waves.toLocaleString() + ' waves';
+}
 async function tick() {
   try {
     const r = await fetch('/progress'); const s = await r.json();
@@ -339,7 +487,8 @@ async function tick() {
       const tr = document.createElement('tr'); tr.className = e.status;
       const cells = [e.app, e.scheme, e.procs, e.topology, e.status,
         e.cycles.toLocaleString(), e.events.toLocaleString(), e.queue_depth,
-        e.cycle_rate ? e.cycle_rate.toExponential(2) : '', e.elapsed_seconds ? e.elapsed_seconds.toFixed(2) : ''];
+        e.cycle_rate ? e.cycle_rate.toExponential(2) : '', e.elapsed_seconds ? e.elapsed_seconds.toFixed(2) : '',
+        laneCell(e.kernel)];
       for (const c of cells) { const td = document.createElement('td'); td.textContent = c; tr.appendChild(td); }
       tb.appendChild(tr);
     }

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"dircc/internal/kprof"
 )
 
 // parsePromText validates Prometheus text-exposition output the way a
@@ -204,5 +206,80 @@ func TestMonitorFailureAccounting(t *testing.T) {
 	if gauges["dircc_sweep_experiments_completed"] != 1 || gauges["dircc_sweep_experiments_failed"] != 1 {
 		t.Errorf("completed=%v failed=%v, want 1/1",
 			gauges["dircc_sweep_experiments_completed"], gauges["dircc_sweep_experiments_failed"])
+	}
+}
+
+// TestMonitorKernelMetrics drives a profiled sharded run through the
+// monitor and checks the kernel observability surface: per-lane
+// busy/idle gauges and the wave-width histogram on /metrics, the
+// kernel block in /progress, and the debug endpoints (pprof and
+// runtime/metrics) on the same handler.
+func TestMonitorKernelMetrics(t *testing.T) {
+	exps := []Experiment{{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, KProf: &kprof.Profile{}}}
+	mon := NewSweepMonitor(exps, 1)
+	mon.AttachKProf(0, exps[0].KProf)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	results := RunExperimentsLive(context.Background(), exps, 1, mon.Start, mon.Done)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if results[0].Result.ShardPlan.Fallback() {
+		t.Fatalf("profiled run fell back: %s", results[0].Result.ShardPlan.ReasonToken)
+	}
+
+	metricsText := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`dircc_kernel_lane_busy_ns{app="fft",scheme="fm",procs="8",topology="hypercube",lane="0"}`,
+		`dircc_kernel_lane_idle_ns{app="fft",scheme="fm",procs="8",topology="hypercube",lane="3"}`,
+		`dircc_kernel_lane_events{`,
+		`dircc_kernel_waves{`,
+		`dircc_kernel_replay_ns{`,
+		`# TYPE dircc_kernel_wave_width histogram`,
+		`dircc_kernel_wave_width_bucket{`,
+		`le="+Inf"`,
+		`dircc_kernel_wave_width_count{`,
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/progress")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	k := snap.Experiments[0].Kernel
+	if k == nil {
+		t.Fatal("progress JSON has no kernel block for the profiled run")
+	}
+	if k.Shards != 4 || len(k.Lanes) != 4 || k.Waves == 0 || !k.Done {
+		t.Errorf("kernel block inconsistent: shards=%d lanes=%d waves=%d done=%v",
+			k.Shards, len(k.Lanes), k.Waves, k.Done)
+	}
+	var busy int64
+	for _, l := range k.Lanes {
+		busy += l.BusyNs
+	}
+	if busy <= 0 {
+		t.Error("kernel block records no lane busy time")
+	}
+
+	// Debug endpoints ride on the same handler.
+	if got := httpGet(t, srv.URL+"/debug/pprof/cmdline"); got == "" {
+		t.Error("pprof cmdline endpoint empty")
+	}
+	var rt map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/runtime")), &rt); err != nil {
+		t.Fatalf("runtime metrics JSON: %v", err)
+	}
+	if _, ok := rt["/sched/goroutines:goroutines"]; !ok {
+		t.Errorf("runtime metrics missing goroutine count (got %d keys)", len(rt))
+	}
+
+	// The dashboard carries the kernel-lane column.
+	if dash := httpGet(t, srv.URL+"/"); !strings.Contains(dash, "kernel lanes") {
+		t.Error("dashboard missing the kernel-lane column")
 	}
 }
