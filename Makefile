@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench perf perf-shards sweep cover lint check smoke fuzz stress clean
+.PHONY: all build test tier1 vet race bench perf perf-shards sweep cover lint inventory check smoke fuzz stress clean
 
 all: tier1
 
@@ -19,13 +19,22 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own analyzer suite (cmd/dirccvet:
-# simdet, maprange, probeguard, shardsafe). staticcheck and govulncheck also run
-# when installed — CI installs them; offline dev boxes may not have
-# them, so their absence is not an error here.
+# simdet, maprange, probeguard, shardsafe, laneguard, plus the
+# allocguard escape gate over //dirccvet:hotpath functions).
+# staticcheck and govulncheck also run when installed — CI installs
+# them; offline dev boxes may not have them, so their absence is not an
+# error here.
 lint: vet
 	$(GO) run ./cmd/dirccvet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "lint: govulncheck not installed, skipping"; fi
+
+# inventory emits laneguard's per-engine cross-lane touch-point
+# work-list (sci/sll/stp/Dir_iTree_k) as JSON — the de-risking map for
+# making the remaining engines shard-safe. A report, not a gate.
+inventory:
+	$(GO) run ./cmd/dirccvet -mode inventory -json ./... > lane-inventory.json
+	@echo "inventory: wrote lane-inventory.json"
 
 # check runs the exhaustive model checker over every protocol engine
 # (internal/check: all interleavings of the tiny-config grid, plus the
@@ -100,4 +109,4 @@ cover:
 
 # clean removes generated artifacts.
 clean:
-	rm -f coverage.out bench.out
+	rm -f coverage.out bench.out dirccvet.sarif lane-inventory.json

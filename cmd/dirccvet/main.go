@@ -1,11 +1,29 @@
 // Command dirccvet runs the repository's custom static analyzers
-// (simdet, maprange, probeguard — see internal/lint) over the given
-// package patterns, defaulting to ./... . It prints one line per
-// finding and exits 1 if any finding survives the //dirccvet:allow
-// suppressions, so it slots into `make lint` and CI next to go vet.
+// (simdet, maprange, probeguard, shardsafe, laneguard, allocguard — see
+// internal/lint) over the given package patterns, defaulting to ./... .
+//
+// Modes:
+//
+//	dirccvet [flags] [patterns]          gate mode: print findings,
+//	                                     exit 1 if any survive the
+//	                                     //dirccvet:allow suppressions
+//	dirccvet -mode inventory [patterns]  laneguard inventory: the
+//	                                     per-engine cross-lane
+//	                                     touch-point work-list (exit 0;
+//	                                     it is a report, not a gate)
+//
+// Flags:
+//
+//	-json         emit machine-readable JSON instead of text
+//	-sarif FILE   additionally write gate findings as SARIF 2.1.0
+//	              ("-" for stdout) for GitHub code scanning
+//	-alloc=false  skip the allocguard escape-analysis pass (it shells
+//	              out to `go build`; everything else is in-process)
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,7 +31,13 @@ import (
 )
 
 func main() {
-	patterns := os.Args[1:]
+	mode := flag.String("mode", "gate", "gate or inventory")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	sarifOut := flag.String("sarif", "", "write SARIF 2.1.0 findings to this file (\"-\" for stdout)")
+	alloc := flag.Bool("alloc", true, "run the allocguard escape-analysis pass (gate mode)")
+	flag.Parse()
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -22,12 +46,102 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dirccvet:", err)
 		os.Exit(2)
 	}
-	diags := lint.RunAnalyzers(pkgs, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+
+	switch *mode {
+	case "inventory":
+		runInventory(pkgs, *jsonOut)
+	case "gate":
+		runGate(pkgs, *jsonOut, *sarifOut, *alloc)
+	default:
+		fmt.Fprintf(os.Stderr, "dirccvet: unknown -mode %q (want gate or inventory)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runGate(pkgs []*lint.Package, jsonOut bool, sarifPath string, alloc bool) {
+	var extra []lint.Diagnostic
+	if alloc {
+		allocDiags, hotpaths, err := lint.RunAllocGuard(pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dirccvet:", err)
+			os.Exit(2)
+		}
+		if hotpaths > 0 && !jsonOut {
+			fmt.Fprintf(os.Stderr, "dirccvet: allocguard checked %d hotpath function(s)\n", hotpaths)
+		}
+		extra = allocDiags
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.All(), extra...)
+
+	if sarifPath != "" {
+		w := os.Stdout
+		if sarifPath != "-" {
+			f, err := os.Create(sarifPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dirccvet:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		wd, _ := os.Getwd()
+		if err := lint.WriteSARIF(w, diags, wd); err != nil {
+			fmt.Fprintln(os.Stderr, "dirccvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	if jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dirccvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dirccvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+func runInventory(pkgs []*lint.Package, jsonOut bool) {
+	inv := lint.Inventory(pkgs)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(inv); err != nil {
+			fmt.Fprintln(os.Stderr, "dirccvet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	for _, e := range inv {
+		status := "cross-lane touch points"
+		if e.ShardSafe {
+			status = "certified shard-safe"
+		}
+		fmt.Printf("%s %s: %d %s\n", e.Package, e.Engine, len(e.TouchPoints), status)
+		for _, tp := range e.TouchPoints {
+			fmt.Printf("  %s:%d: [%s] %s\n", tp.File, tp.Line, tp.Func, tp.Reason)
+		}
 	}
 }

@@ -440,6 +440,8 @@ func (m *Machine) GlobalOpAt(n NodeID, fn func()) {
 // machine counters on a sequential machine, the lane-local sink on a
 // sharded one (folded into Ctr in deterministic lane order at
 // quiesce).
+//
+//dirccvet:hotpath
 func (m *Machine) CtrAt(n NodeID) *stats.Counters {
 	if m.laneCtrs != nil {
 		return m.laneCtrs[m.shard.LaneOf(int(n))]

@@ -82,6 +82,8 @@ func (s *Store) InFlightWrites() int {
 }
 
 // Value returns the current (last serialized) value of block b.
+//
+//dirccvet:hotpath
 func (s *Store) Value(b BlockID) uint64 {
 	if int(b) >= len(s.cur) {
 		return 0

@@ -1,0 +1,288 @@
+package lint
+
+// cfg.go builds a basic-block control-flow graph over a function body's
+// go/ast. It is deliberately small: laneguard's dataflow only needs the
+// join structure of branches and loops to merge value provenance, not an
+// exact model of Go control flow. Unstructured constructs are handled
+// conservatively:
+//
+//   - break/continue (with or without labels) edge to the innermost
+//     matching loop/switch exit;
+//   - goto is approximated by an edge to the function exit (the engine
+//     code this analyzer targets never uses goto);
+//   - select and labeled statements fall through their bodies;
+//   - panic and return edge to the exit block.
+//
+// A Block holds the statements and standalone expressions (condition
+// expressions, range operands) that execute when control reaches it, in
+// order. Edges over-approximate: a spurious edge can only merge extra
+// provenance into a join, which drives values toward Foreign/Unknown and
+// therefore can cause a false positive, never a false negative.
+
+import (
+	"go/ast"
+)
+
+// Block is a basic block: a straight-line sequence of AST nodes with a
+// set of successor blocks.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+type cfgBuilder struct {
+	g *CFG
+	// loop stack for break/continue resolution. Each frame records the
+	// block a `break` jumps to and the block a `continue` jumps to
+	// (nil continue target for switch frames).
+	frames []cfgFrame
+}
+
+type cfgFrame struct {
+	label   string // statement label, "" if unlabeled
+	breakTo *Block
+	contTo  *Block // nil for switch/select frames
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// buildCFG constructs the CFG for a function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	last := b.stmtList(g.Entry, body.List, "")
+	link(last, g.Exit)
+	return g
+}
+
+// stmtList threads the statements through cur and returns the block that
+// control falls out of (nil if the list always transfers control away).
+func (b *cfgBuilder) stmtList(cur *Block, list []ast.Stmt, label string) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/break; give it its own
+			// block so its expressions still get (empty-env) visits.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, label)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt, label string) *Block {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		next := b.newBlock()
+		link(cur, next)
+		return b.stmt(next, s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List, "")
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		after := b.newBlock()
+		thenB := b.newBlock()
+		link(cur, thenB)
+		link(b.stmtList(thenB, s.Body.List, ""), after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			link(b.stmt(elseB, s.Else, ""), after)
+		} else {
+			link(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		link(head, after) // cond false (or loop may not iterate)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, contTo: head})
+		end := b.stmtList(body, s.Body.List, "")
+		b.frames = b.frames[:len(b.frames)-1]
+		if end != nil {
+			if s.Post != nil {
+				end.Nodes = append(end.Nodes, s.Post)
+			}
+			link(end, head)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		// The range statement itself carries the key/value bindings;
+		// the transfer function handles it as a unit at loop head.
+		head := b.newBlock()
+		link(cur, head)
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, contTo: head})
+		end := b.stmtList(body, s.Body.List, "")
+		b.frames = b.frames[:len(b.frames)-1]
+		link(end, head)
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		return b.switchBody(cur, s.Body, label, nil)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		link(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	case *ast.ExprStmt:
+		if isPanicCall(s.X) {
+			cur.Nodes = append(cur.Nodes, s)
+			link(cur, b.g.Exit)
+			return nil
+		}
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		// Assign, IncDec, Decl, Go, Defer, Send, Empty, ...
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires each case clause as an alternative successor of cur.
+// Fallthrough is approximated by also linking each clause end to after
+// (which it does anyway), and a missing default adds a direct edge.
+func (b *cfgBuilder) switchBody(cur *Block, body *ast.BlockStmt, label string, contTo *Block) *Block {
+	after := b.newBlock()
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, contTo: contTo})
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		var exprs []ast.Expr
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts, exprs = cl.Body, cl.List
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				stmts = append([]ast.Stmt{cl.Comm}, stmts...)
+			}
+		default:
+			continue
+		}
+		clause := b.newBlock()
+		for _, e := range exprs {
+			clause.Nodes = append(clause.Nodes, e)
+		}
+		link(cur, clause)
+		link(b.stmtList(clause, stmts, ""), after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		link(cur, after)
+	}
+	return after
+}
+
+func (b *cfgBuilder) branch(cur *Block, s *ast.BranchStmt) *Block {
+	want := ""
+	if s.Label != nil {
+		want = s.Label.Name
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if want != "" && f.label != want {
+			continue
+		}
+		switch s.Tok.String() {
+		case "break":
+			link(cur, f.breakTo)
+			return nil
+		case "continue":
+			if f.contTo == nil {
+				continue // switch frame: continue targets enclosing loop
+			}
+			link(cur, f.contTo)
+			return nil
+		}
+		break
+	}
+	// goto, fallthrough, or an unresolved label: approximate.
+	switch s.Tok.String() {
+	case "fallthrough":
+		return cur // next clause follows lexically; good enough
+	default:
+		link(cur, b.g.Exit)
+		return nil
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,159 @@
+package lint
+
+// dataflow.go is a small forward dataflow solver over the basic-block
+// CFG of cfg.go. The abstract state is an environment mapping local
+// variables (types.Object) to provenance values; laneguard supplies the
+// transfer function. The solver runs a classic worklist fixpoint on
+// block-entry environments, then a final visit pass re-applies the
+// transfer function with checking enabled so every AST node is inspected
+// exactly once under its fixpoint-stable incoming environment.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// vkind is the provenance lattice:
+//
+//	vBottom < vConst < vCanon | vForeign
+//
+// vConst: a compile-time constant (NoNode, literals) — never a live
+// cross-lane index. vCanon: a symbolic path rooted at a handler
+// parameter, e.g. "msg.Dst" or "home(msg.Block)"; residency is decided
+// by membership in the entry context. vForeign: an index whose origin is
+// another node's state (directory entry, chain pointer, sharer set,
+// message payload) or is simply untrackable; `why` records the reason
+// used in diagnostics.
+type vkind int
+
+const (
+	vBottom vkind = iota
+	vConst
+	vCanon
+	vForeign
+)
+
+type value struct {
+	kind vkind
+	path string // canonical path for vCanon
+	why  string // provenance reason for vForeign
+}
+
+var (
+	bottomVal = value{kind: vBottom}
+	constVal  = value{kind: vConst}
+)
+
+func canonVal(path string) value  { return value{kind: vCanon, path: path} }
+func foreignVal(why string) value { return value{kind: vForeign, why: why} }
+
+func (v value) join(w value) value {
+	switch {
+	case v.kind == vBottom:
+		return w
+	case w.kind == vBottom:
+		return v
+	case v.kind == vConst:
+		// const ⊔ x = x: the constant arm is a sentinel (NoNode) or
+		// guard default; the interesting provenance is the other arm.
+		return w
+	case w.kind == vConst:
+		return v
+	case v.kind == vForeign:
+		return v
+	case w.kind == vForeign:
+		return w
+	case v.path == w.path:
+		return v
+	default:
+		return foreignVal("merged from multiple provenances")
+	}
+}
+
+// env maps in-scope local variables to provenance values.
+type env map[types.Object]value
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// joinInto merges o into e, reporting whether e changed.
+func (e env) joinInto(o env) bool {
+	changed := false
+	for k, v := range o {
+		old, ok := e[k]
+		if !ok {
+			e[k] = v
+			changed = true
+			continue
+		}
+		nv := old.join(v)
+		if nv != old {
+			e[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transferFn applies the abstract effect of one AST node to the
+// environment in place. check is false during fixpoint iteration and
+// true during the final visit pass (diagnostics are emitted only then,
+// so the fixpoint never reports twice).
+type transferFn func(n ast.Node, e env, check bool)
+
+// forward runs the worklist fixpoint for cfg starting from entry and
+// then performs the reporting pass.
+func forward(cfg *CFG, entry env, transfer transferFn) {
+	in := map[*Block]env{cfg.Entry: entry}
+	// Deterministic worklist order: blocks are created in lexical
+	// order, so index order is stable across runs.
+	index := make(map[*Block]int, len(cfg.Blocks))
+	for i, b := range cfg.Blocks {
+		index[b] = i
+	}
+	work := []*Block{cfg.Entry}
+	inWork := map[*Block]bool{cfg.Entry: true}
+	pop := func() *Block {
+		sort.Slice(work, func(i, j int) bool { return index[work[i]] < index[work[j]] })
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		return b
+	}
+	for iter := 0; len(work) > 0 && iter < 10000; iter++ {
+		b := pop()
+		e := in[b].clone()
+		for _, n := range b.Nodes {
+			transfer(n, e, false)
+		}
+		for _, s := range b.Succs {
+			se, ok := in[s]
+			if !ok {
+				in[s] = e.clone()
+			} else if !se.joinInto(e) {
+				continue
+			}
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	// Reporting pass: every block once, under its fixpoint in-env.
+	for _, b := range cfg.Blocks {
+		e, ok := in[b]
+		if !ok {
+			e = env{} // unreachable block
+		}
+		e = e.clone()
+		for _, n := range b.Nodes {
+			transfer(n, e, true)
+		}
+	}
+}

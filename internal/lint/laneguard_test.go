@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestLaneGuard(t *testing.T) { runTestdata(t, LaneGuard) }
+
+// TestLaneGuardCertifiesShardSafeEngines is the certification the CI
+// lint gate relies on: the four shard-safe engine packages must have
+// zero cross-lane touch points.
+func TestLaneGuardCertifiesShardSafeEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module for export data")
+	}
+	pkgs, err := Load(
+		"dircc/internal/protocol/fullmap",
+		"dircc/internal/protocol/limited",
+		"dircc/internal/protocol/limitless",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if !declaresShardSafeEngine(pkg.Types) {
+			t.Errorf("%s: expected a ShardSafeEngine declaration", pkg.ImportPath)
+		}
+	}
+	for _, d := range RunAnalyzers(pkgs, []*Analyzer{LaneGuard}) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLaneGuardInventory pins the cross-lane work-list for the
+// non-shard-safe engines (ROADMAP item 1). The exact counts move as the
+// engines evolve; what must not silently change is that each engine has
+// a non-empty inventory and that the known hazard classes keep being
+// attributed to the right lines.
+func TestLaneGuardInventory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module for export data")
+	}
+	pkgs, err := Load(
+		"dircc/internal/protocol/list",
+		"dircc/internal/protocol/stp",
+		"dircc/internal/core",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := Inventory(pkgs)
+	byEngine := map[string]EngineInventory{}
+	for _, e := range inv {
+		byEngine[e.Package+" "+e.Engine] = e
+		if e.ShardSafe {
+			t.Errorf("%s %s: unexpectedly certified shard-safe", e.Package, e.Engine)
+		}
+		if len(e.TouchPoints) == 0 {
+			t.Errorf("%s %s: empty inventory; the engine is known to have cross-lane touch points", e.Package, e.Engine)
+		}
+	}
+	for _, key := range []string{
+		"dircc/internal/protocol/list SCI",
+		"dircc/internal/protocol/list SLL",
+		"dircc/internal/protocol/stp Engine",
+		"dircc/internal/core Engine",
+	} {
+		if _, ok := byEngine[key]; !ok {
+			t.Errorf("no inventory for %s (have %v)", key, keysOf(byEngine))
+		}
+	}
+
+	// Golden touch points: one representative per hazard class per
+	// engine, pinned by file:line and a reason fragment.
+	golden := []struct {
+		engine string
+		file   string
+		line   int
+		reason string
+	}{
+		// SCI: requester-side ReleaseHome, chain-link store from the
+		// message payload, and the evict-time neighbour splice.
+		{"dircc/internal/protocol/list SCI", "sci.go", 234, "m.ReleaseHome(msg.Block) touches the home directory/gate state"},
+		{"dircc/internal/protocol/list SCI", "sci.go", 280, "chain-link store of node index msg.Requester (message-carried)"},
+		{"dircc/internal/protocol/list SCI", "sci.go", 304, "derived by e.liveSuccessor"},
+		{"dircc/internal/protocol/list SCI", "sci.go", 478, "access to m.Nodes[prev]"},
+		{"dircc/internal/protocol/list SCI", "sci.go", 489, "access to m.Nodes[next]"},
+		// SLL: same classes on the simpler chain.
+		{"dircc/internal/protocol/list SLL", "sll.go", 225, "m.ReleaseHome(msg.Block) touches the home directory/gate state"},
+		{"dircc/internal/protocol/list SLL", "sll.go", 260, "chain-link store of node index msg.Src (message-carried)"},
+		{"dircc/internal/protocol/list SLL", "sll.go", 342, "m.Invalidate(next, ...) mutates that node's cache"},
+		// STP: message-carried pointer list into tree metadata.
+		{"dircc/internal/protocol/stp Engine", "stp.go", 311, "message-carried pointer list (msg.Ptrs)"},
+		{"dircc/internal/protocol/stp Engine", "stp.go", 416, "engine-global map Engine.aggs"},
+		// Dir_iTree_k core: child-list stores and the shared aggregates.
+		{"dircc/internal/core Engine", "dirtree.go", 517, "derived by childrenOf"},
+		{"dircc/internal/core Engine", "dirtree.go", 659, "engine-global map Engine.aggs"},
+	}
+	for _, g := range golden {
+		e, ok := byEngine[g.engine]
+		if !ok {
+			continue
+		}
+		found := false
+		for _, tp := range e.TouchPoints {
+			if filepath.Base(tp.File) == g.file && tp.Line == g.line && strings.Contains(tp.Reason, g.reason) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no touch point %s:%d with reason containing %q", g.engine, g.file, g.line, g.reason)
+			for _, tp := range e.TouchPoints {
+				if filepath.Base(tp.File) == g.file && tp.Line == g.line {
+					t.Logf("  at that line: %s", tp.Reason)
+				}
+			}
+		}
+	}
+}
+
+func keysOf(m map[string]EngineInventory) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestLaneGuardCatchesStaleSpliceRevert reverts PR 5's SCI stale-splice
+// fix in memory (the reply's next pointer came straight from msg.Src
+// instead of e.liveSuccessor, splicing evicted nodes back into the
+// sharing list) and proves laneguard attributes the mutated line to a
+// message-carried index. The unmutated tree must NOT carry that
+// attribution at the same site, so the finding is specific to the bug,
+// not an artifact of the neighbourhood.
+func TestLaneGuardCatchesStaleSpliceRevert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module for export data")
+	}
+	const (
+		fixed   = "next := e.liveSuccessor(m, msg.Src, msg.Block)"
+		mutated = "next := msg.Src"
+	)
+	dir := filepath.Join("..", "protocol", "list")
+	src, err := os.ReadFile(filepath.Join(dir, "sci.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), fixed) {
+		t.Fatalf("sci.go no longer contains %q; update the mutant test", fixed)
+	}
+
+	findingsAt := func(code string) []string {
+		t.Helper()
+		fset := token.NewFileSet()
+		var files []*ast.File
+		names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutLine := 0
+		for _, name := range names {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			text, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if filepath.Base(name) == "sci.go" {
+				text = []byte(code)
+				for i, l := range strings.Split(code, "\n") {
+					if strings.Contains(l, "next :=") && strings.Contains(l, "msg.Src") {
+						mutLine = i + 1
+						break
+					}
+				}
+			}
+			f, err := parser.ParseFile(fset, name, text, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		if mutLine == 0 {
+			t.Fatal("could not locate the splice line in sci.go")
+		}
+		imports := map[string]bool{}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				imports[strings.Trim(spec.Path.Value, `"`)] = true
+			}
+		}
+		var patterns []string
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		entries, err := goList(true, patterns...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: exportImporter(fset, entries)}
+		tpkg, err := conf.Check("dircc/internal/protocol/list", fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck mutated list package: %v", err)
+		}
+		pkg := &Package{ImportPath: tpkg.Path(), Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+		var out []string
+		// The list package is not shard-safe, so the gating analyzer is
+		// silent there; the inventory is where the touch point shows up.
+		for _, e := range Inventory([]*Package{pkg}) {
+			for _, tp := range e.TouchPoints {
+				if filepath.Base(tp.File) == "sci.go" && tp.Line >= mutLine && tp.Line <= mutLine+1 {
+					out = append(out, tp.Reason)
+				}
+			}
+		}
+		return out
+	}
+
+	// The clean tree also mentions msg.Src (message-carried) at the
+	// liveSuccessor CALL — what only the mutant has is a chain-link
+	// STORE of the message-carried index.
+	carried := regexp.MustCompile(`chain-link store of node index msg\.Src \(message-carried\)`)
+
+	mutant := findingsAt(strings.Replace(string(src), fixed, mutated, 1))
+	found := false
+	for _, r := range mutant {
+		if carried.MatchString(r) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reverting the stale-splice fix: no message-carried attribution at the splice; got %q", mutant)
+	}
+
+	clean := findingsAt(string(src))
+	for _, r := range clean {
+		if carried.MatchString(r) {
+			t.Errorf("unmutated sci.go attributed to msg.Src at the splice: %q", r)
+		}
+	}
+	if len(clean) == 0 {
+		t.Error("unmutated splice has no inventory entries at all; expected the liveSuccessor-derived store")
+	}
+	for _, r := range clean {
+		if !strings.Contains(r, "liveSuccessor") {
+			t.Logf("unmutated splice entry: %s", r)
+		}
+	}
+}
+
+// TestLaneGuardSkipsNonShardSafePackages: gating must not fire in
+// packages that never declared a shard-safe engine even if they contain
+// cross-lane patterns.
+func TestLaneGuardSkipsNonShardSafePackages(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+type Machine struct{}
+
+func f(xs []int, i int) int { return xs[i] }
+`
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "p", Dir: ".", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{LaneGuard}); len(diags) != 0 {
+		t.Errorf("unexpected findings in a non-shard-safe package: %v", diags)
+	}
+}
+
+// TestCFGShapes sanity-checks the basic-block builder on the control
+// structures the engine handlers actually use.
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"if-else", `if a { x() } else { y() }; z()`},
+		{"for-break", `for i := 0; i < n; i++ { if a { break }; x() }`},
+		{"range-continue", `for k := range m { if k == 0 { continue }; x() }`},
+		{"switch", `switch a { case true: x()
+default:
+	y()
+}`},
+		{"labeled", `outer:
+for {
+	for {
+		break outer
+	}
+}`},
+		{"return-mid", `if a { return }; x()`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := fmt.Sprintf(`package p
+var (
+	a bool
+	n int
+	m map[int]int
+)
+func x() {}
+func y() {}
+func z() {}
+func f() {
+	%s
+}`, c.body)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "p.go", src, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var body *ast.BlockStmt
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+					body = fd.Body
+				}
+			}
+			g := buildCFG(body)
+			if g.Entry == nil || g.Exit == nil || len(g.Blocks) < 2 {
+				t.Fatalf("degenerate CFG: %+v", g)
+			}
+			// Every block must be reachable from entry or be a
+			// deliberately detached unreachable-code block; walking from
+			// the entry must terminate (no unlinked dangling edges).
+			seen := map[*Block]bool{}
+			var walk func(b *Block)
+			walk = func(b *Block) {
+				if seen[b] {
+					return
+				}
+				seen[b] = true
+				for _, s := range b.Succs {
+					walk(s)
+				}
+			}
+			walk(g.Entry)
+			if !seen[g.Exit] && c.name != "labeled" {
+				t.Errorf("exit unreachable from entry")
+			}
+		})
+	}
+}

@@ -18,10 +18,16 @@
 //     engine code must schedule through the Machine façade (never
 //     Machine.Eng) and count through per-lane sinks (never writes to
 //     Machine.Ctr in shard-safe engine packages).
+//   - laneguard: a dataflow analysis over the same lane contract —
+//     handler code in shard-safe engine packages must not reach into
+//     another node's per-node state with a directory-, chain- or
+//     message-derived index outside the scheduling façade (cfg.go,
+//     dataflow.go, laneguard.go).
 //
-// A finding can be suppressed — with justification — by a
-// `//dirccvet:allow <analyzer>` comment on the same line or the line
-// above.
+// A finding can be suppressed by a `//dirccvet:allow <analyzer> reason`
+// comment on the same line or the line above. The reason is mandatory,
+// and an allowance that suppresses nothing is itself reported (analyzer
+// name "allowcheck") so stale suppressions cannot rot in place.
 package lint
 
 import (
@@ -71,17 +77,36 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// allowCheckName is the pseudo-analyzer that reports defective or stale
+// //dirccvet:allow comments. It is not itself suppressible.
+const allowCheckName = "allowcheck"
+
 // All returns the full analyzer suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SimDet, MapRange, ProbeGuard, ShardSafeRule}
+	return []*Analyzer{SimDet, MapRange, ProbeGuard, ShardSafeRule, LaneGuard}
 }
 
 // RunAnalyzers applies the analyzers to every package, drops findings
 // suppressed by //dirccvet:allow comments, and returns the rest sorted
-// by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// by position. Extra diagnostics produced outside the Analyzer
+// interface (e.g. allocguard, which shells out to the compiler) may be
+// passed in; they go through the same suppression and stale-allow
+// accounting, keyed by their Analyzer name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, extra ...Diagnostic) []Diagnostic {
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for _, d := range extra {
+		active[d.Analyzer] = true
+	}
 	var out []Diagnostic
+	claimed := map[string]bool{} // extra-diag files owned by some package
 	for _, pkg := range pkgs {
+		files := map[string]bool{}
+		for _, f := range pkg.Files {
+			files[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
 		allow := collectAllows(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -99,6 +124,24 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				out = append(out, d)
 			}
 		}
+		for _, d := range extra {
+			if !files[d.Pos.Filename] {
+				continue
+			}
+			claimed[d.Pos.Filename] = true
+			if allow.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+		out = append(out, allow.selfLint(active)...)
+	}
+	// Extra diagnostics in files not covered by any loaded package
+	// (nothing to suppress them with) pass through unchanged.
+	for _, d := range extra {
+		if !claimed[d.Pos.Filename] {
+			out = append(out, d)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -113,12 +156,22 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// allowSet maps file -> line -> analyzer names allowed there.
-type allowSet map[string]map[int]map[string]bool
+// allowRule is one //dirccvet:allow comment.
+type allowRule struct {
+	pos    token.Position
+	names  []string
+	reason string
+	used   map[string]bool // analyzer name -> suppressed at least one finding
+}
 
-// collectAllows gathers `//dirccvet:allow name[,name] [reason]`
-// comments. An allowance covers findings on its own line and on the
-// line below (for a comment placed above the offending statement).
+// allowSet maps file -> line -> analyzer name -> rule; each rule covers
+// two lines (its own and the one below), pointing at the same struct so
+// usage is tracked once.
+type allowSet map[string]map[int]map[string]*allowRule
+
+// collectAllows gathers `//dirccvet:allow name[,name] reason` comments.
+// An allowance covers findings on its own line and on the line below
+// (for a comment placed above the offending statement).
 func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	set := make(allowSet)
 	for _, f := range files {
@@ -133,17 +186,23 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				rule := &allowRule{
+					pos:    pos,
+					names:  strings.Split(fields[0], ","),
+					reason: strings.Join(fields[1:], " "),
+					used:   map[string]bool{},
+				}
 				lines := set[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*allowRule)
 					set[pos.Filename] = lines
 				}
-				for _, name := range strings.Split(fields[0], ",") {
+				for _, name := range rule.names {
 					for _, ln := range []int{pos.Line, pos.Line + 1} {
 						if lines[ln] == nil {
-							lines[ln] = make(map[string]bool)
+							lines[ln] = make(map[string]*allowRule)
 						}
-						lines[ln][name] = true
+						lines[ln][name] = rule
 					}
 				}
 			}
@@ -153,5 +212,45 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 }
 
 func (s allowSet) suppressed(d Diagnostic) bool {
-	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+	rule := s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+	if rule == nil {
+		return false
+	}
+	rule.used[d.Analyzer] = true
+	return true
+}
+
+// selfLint reports defective allow comments: a missing reason string,
+// and any named analyzer in the active set that suppressed nothing
+// (a stale allowance that would silently mask future regressions).
+func (s allowSet) selfLint(active map[string]bool) []Diagnostic {
+	seen := map[*allowRule]bool{}
+	var out []Diagnostic
+	for _, lines := range s {
+		for _, rules := range lines {
+			for _, rule := range rules {
+				if seen[rule] {
+					continue
+				}
+				seen[rule] = true
+				if rule.reason == "" {
+					out = append(out, Diagnostic{
+						Pos:      rule.pos,
+						Analyzer: allowCheckName,
+						Message:  "dirccvet:allow needs a justification after the analyzer list",
+					})
+				}
+				for _, name := range rule.names {
+					if active[name] && !rule.used[name] {
+						out = append(out, Diagnostic{
+							Pos:      rule.pos,
+							Analyzer: allowCheckName,
+							Message:  fmt.Sprintf("stale dirccvet:allow: %q suppresses no finding here; delete it", name),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
 }

@@ -9,6 +9,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -147,7 +148,7 @@ func TestAllowSuppression(t *testing.T) {
 // ordinary comment
 //dirccvet:allow simdet justified: host-side timing
 var a = 1
-var b = 2 //dirccvet:allow simdet,maprange
+var b = 2 //dirccvet:allow simdet,maprange seeded fixture rand, never in simulation
 var c = 3
 `
 	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
@@ -173,5 +174,58 @@ var c = 3
 		if got := allow.suppressed(d); got != c.want {
 			t.Errorf("line %d analyzer %s: suppressed=%v, want %v", c.line, c.analyzer, got, c.want)
 		}
+	}
+}
+
+// TestAllowSelfLint checks that defective allow comments are themselves
+// reported: a missing reason, and a named analyzer that suppresses
+// nothing. Analyzers outside the active set are not judged (allocguard
+// allows must not go "stale" on runs with -alloc=false).
+func TestAllowSelfLint(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+//dirccvet:allow simdet
+var a = 1
+//dirccvet:allow maprange the range feeds a sorted slice first
+var b = 2
+//dirccvet:allow probeguard probes are nil-checked by the caller
+var c = 3
+//dirccvet:allow allocguard one closure per message
+var d = 4
+`
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow := collectAllows(fset, []*ast.File{f})
+	// Only the maprange allowance earns its keep.
+	allow.suppressed(Diagnostic{Pos: token.Position{Filename: "allow.go", Line: 5}, Analyzer: "maprange"})
+	active := map[string]bool{"simdet": true, "maprange": true, "probeguard": true}
+
+	byLine := map[int][]string{}
+	for _, d := range allow.selfLint(active) {
+		if d.Analyzer != allowCheckName {
+			t.Errorf("self-lint finding with analyzer %q, want %q", d.Analyzer, allowCheckName)
+		}
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d.Message)
+	}
+
+	expectContains := func(line int, frag string) {
+		t.Helper()
+		for _, m := range byLine[line] {
+			if strings.Contains(m, frag) {
+				return
+			}
+		}
+		t.Errorf("line %d: no self-lint finding containing %q; got %v", line, frag, byLine[line])
+	}
+	expectContains(2, "needs a justification")
+	expectContains(2, `"simdet" suppresses no finding`)
+	expectContains(6, `"probeguard" suppresses no finding`)
+	if len(byLine[4]) != 0 {
+		t.Errorf("used allowance flagged: %v", byLine[4])
+	}
+	if len(byLine[8]) != 0 {
+		t.Errorf("inactive-analyzer allowance flagged: %v", byLine[8])
 	}
 }

@@ -1,0 +1,128 @@
+package lint
+
+// sarif.go renders diagnostics as a minimal SARIF 2.1.0 log so CI can
+// upload dirccvet findings to GitHub code scanning. Only the fields
+// code-scanning ingestion requires are emitted: one run, one rule per
+// analyzer, one result per diagnostic with a physical location.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF writes diags as a SARIF 2.1.0 log. File paths are made
+// relative to root when possible (code scanning wants repo-relative
+// URIs); root may be empty to keep paths as-is.
+func WriteSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	ruleDocs := map[string]string{}
+	for _, a := range All() {
+		ruleDocs[a.Name] = a.Doc
+	}
+	ruleDocs[AllocGuardName] = "//dirccvet:hotpath functions must not heap-allocate (compiler escape analysis)"
+	ruleDocs[allowCheckName] = "//dirccvet:allow comments must carry a reason and suppress a real finding"
+
+	ruleIDs := map[string]bool{}
+	var results []sarifResult
+	for _, d := range diags {
+		ruleIDs[d.Analyzer] = true
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region: sarifRegion{
+						StartLine:   max(d.Pos.Line, 1),
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	var rules []sarifRule
+	for id := range ruleIDs {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: ruleDocs[id]}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if results == nil {
+		results = []sarifResult{}
+	}
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dirccvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

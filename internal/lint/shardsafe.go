@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -53,6 +54,19 @@ func runShardSafe(p *Pass) {
 						checkCtrWrite(p, lhs)
 					}
 				}
+			case *ast.UnaryExpr:
+				// &m.Ctr (or &m.Ctr.Hist) hands out a mutable alias
+				// that escapes the write checks above.
+				if ctrGated && n.Op == token.AND && ctrChainExpr(p, n.X) {
+					p.Reportf(n.Pos(),
+						"takes the address of Machine.Ctr from engine code; the alias defeats the CtrAt lane-local counter rule")
+				}
+			case *ast.CallExpr:
+				// m.Ctr.Add(...), m.Ctr.MsgByType ... — a method with a
+				// pointer receiver reached through Ctr can mutate it.
+				if ctrGated {
+					checkCtrMethodCall(p, n)
+				}
 			}
 			return true
 		})
@@ -81,6 +95,57 @@ func checkCtrWrite(p *Pass, expr ast.Expr) {
 			return
 		}
 	}
+}
+
+// ctrChainExpr reports whether expr's selector chain passes through the
+// Ctr field of a coherent.Machine.
+func ctrChainExpr(p *Pass, expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "Ctr" && isMachine(p.Info.TypeOf(e.X)) {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkCtrMethodCall reports method calls reached through Machine.Ctr
+// whose receiver is a pointer (Counters.Add, Counters.CountMsg,
+// Histogram.Observe, ...): they can mutate the machine-global counters
+// just like a direct field write. Field reads stay fine.
+func checkCtrMethodCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !ctrChainExpr(p, sel.X) {
+		return
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"calls %s through Machine.Ctr from engine code; pointer-receiver methods mutate the machine-global counters — use m.CtrAt(n)",
+		fn.Name())
 }
 
 // isMachine reports whether t is coherent.Machine or a pointer to it.

@@ -1,0 +1,42 @@
+// Fixture for allocguard: //dirccvet:hotpath functions must survive the
+// compiler's escape analysis without heap allocations; a reviewed
+// exception carries a //dirccvet:allow comment.
+package allocguard
+
+type point struct{ x, y int }
+
+// sum is hot and allocation-free.
+//
+//dirccvet:hotpath
+func sum(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// leak is hot but returns a pointer to its local, forcing the local to
+// the heap — the regression allocguard exists to catch.
+//
+//dirccvet:hotpath
+func leak() *point {
+	p := point{1, 2}
+	return &p
+}
+
+// condoned is hot and allocates deliberately, with a justification.
+//
+//dirccvet:hotpath
+func condoned(n int) []int {
+	//dirccvet:allow allocguard the scratch buffer is amortized across the whole run
+	return make([]int, n)
+}
+
+// cold allocates freely: it is not annotated, so not allocguard's
+// business.
+func cold() *point { return &point{3, 4} }
+
+var sink any
+
+func use() { sink = []any{sum(nil), leak(), condoned(1), cold()} }

@@ -1,0 +1,107 @@
+// Fixture for the laneguard dataflow analyzer: handler code in a
+// shard-safe engine package must not reach into another node's
+// per-node state with a directory-, chain- or message-derived index
+// outside the scheduling façade.
+package laneguard
+
+import (
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+)
+
+// meta is this engine's per-line chain metadata; laneguard learns the
+// type from the ln.Meta assertions below and treats stores of
+// non-resident node indices into its fields as cross-lane leaks.
+type meta struct {
+	owner coherent.NodeID
+}
+
+// entry is the per-block directory record (home-resident: reached via
+// m.Dir, so only the home lane ever touches it).
+type entry struct {
+	owner   coherent.NodeID
+	sharers map[coherent.NodeID]bool
+}
+
+// engine declares itself shard-safe, which subjects this package to
+// the lane-provenance rules.
+type engine struct {
+	global map[coherent.BlockID]int
+}
+
+func (e *engine) ShardSafeEngine() bool { return true }
+
+func (e *engine) entry(m *coherent.Machine, b coherent.BlockID) *entry {
+	en, _ := m.Dir(b).(*entry)
+	if en == nil {
+		en = &entry{owner: coherent.NoNode, sharers: make(map[coherent.NodeID]bool)}
+		m.SetDir(b, en)
+	}
+	return en
+}
+
+// StartMiss is clean: it runs at txn.Node and only touches resident
+// state and the synchronized Send surface.
+func (e *engine) StartMiss(m *coherent.Machine, txn *coherent.Txn) {
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgReadReq, Src: txn.Node, Dst: m.Home(txn.Block),
+		Block: txn.Block, Requester: txn.Node, Aux: coherent.NoNode,
+		ToDir: true, Gated: true,
+	})
+}
+
+// HomeRequest mutates other nodes' caches with directory-derived
+// indices — the classic cross-lane violations.
+func (e *engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(m, msg.Block)
+	e.global[msg.Block]++ // want `engine-global map`
+	if en.owner != coherent.NoNode {
+		m.Nodes[en.owner].Cache.Lookup(msg.Block) // want `not resident`
+		m.Invalidate(en.owner, msg.Block)         // want `m.Invalidate`
+	}
+	for n := range en.sharers {
+		m.Invalidate(n, msg.Block) // want `m.Invalidate`
+	}
+	en.owner = msg.Requester
+	m.ReleaseHome(msg.Block)
+}
+
+// HomeMsg routes the cross-lane work through the scheduling façade:
+// inside the re-based closure the scheduled index is the resident lane.
+func (e *engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
+	en := e.entry(m, msg.Block)
+	owner := en.owner
+	if owner == coherent.NoNode {
+		return
+	}
+	m.ScheduleAt(owner, 1, func() {
+		m.Invalidate(owner, msg.Block)
+	})
+}
+
+// CacheMsg touches its own node's line (fine), stores a message-carried
+// index into chain metadata (a leak another lane will read), and
+// carries one reviewed suppression.
+func (e *engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
+	ln := m.Nodes[msg.Dst].Cache.Lookup(msg.Block)
+	if ln == nil {
+		return
+	}
+	mt, _ := ln.Meta.(*meta)
+	if mt != nil {
+		mt.owner = msg.Requester // want `chain-link store`
+	}
+	//dirccvet:allow laneguard read-only diagnostic peek, torn reads are benign here
+	_ = m.Nodes[msg.Src].Cache
+}
+
+// OnEvict follows a chain pointer out of the dispatched node's line.
+func (e *engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	mt, _ := ln.Meta.(*meta)
+	if mt == nil {
+		return
+	}
+	if mt.owner != coherent.NoNode && mt.owner != n {
+		m.Nodes[mt.owner].Cache.Lookup(ln.Block) // want `not resident`
+	}
+}

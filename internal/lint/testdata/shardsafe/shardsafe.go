@@ -5,6 +5,7 @@ package shardsafe
 
 import (
 	"dircc/internal/coherent"
+	"dircc/internal/stats"
 )
 
 // engine declares itself shard-safe, which subjects this package to
@@ -40,6 +41,32 @@ func goodFacade(m *coherent.Machine, n coherent.NodeID) {
 func goodCtrRead(m *coherent.Machine) uint64 {
 	// Reading the merged counters (reports, assertions) is fine.
 	return m.Ctr.Invalidations + m.Ctr.Writebacks
+}
+
+func badCtrAlias(m *coherent.Machine) **stats.Counters {
+	return &m.Ctr // want `takes the address of Machine.Ctr`
+}
+
+func badCtrAliasNested(m *coherent.Machine) {
+	h := &m.Ctr.ReadMissCycles // want `takes the address of Machine.Ctr`
+	h.Observe(1)
+}
+
+func badCtrMethod(m *coherent.Machine, other *stats.Counters) {
+	m.Ctr.Add(other)                 // want `calls Add through Machine.Ctr`
+	m.Ctr.CountMsg("Inv", 8, 2)      // want `calls CountMsg through Machine.Ctr`
+	m.Ctr.ReadMissCycles.Observe(40) // want `calls Observe through Machine.Ctr`
+}
+
+func goodCtrMethodValueRecv(m *coherent.Machine) {
+	// A value-receiver method copies and cannot mutate the counters.
+	_, _ = m.Ctr.ReadMissCycles.MarshalJSON()
+}
+
+func goodCtrAtMethod(m *coherent.Machine, n coherent.NodeID, other *stats.Counters) {
+	// Mutating through the lane-local sink is the sanctioned route.
+	m.CtrAt(n).Add(other)
+	m.CtrAt(n).ReadMissCycles.Observe(40)
 }
 
 func allowedSequentialDriver(m *coherent.Machine) {

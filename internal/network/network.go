@@ -155,6 +155,8 @@ func New(sched sim.NodeScheduler, topo topology.Topology, cfg Config, counters *
 // route-table lookup on small machines, otherwise RouteTo into the
 // network's scratch buffer. The returned slice is only valid until the
 // next call.
+//
+//dirccvet:hotpath
 func (n *Network) routeFor(src, dst topology.NodeID) []topology.LinkID {
 	if n.routes != nil {
 		return n.routes[int(src)*n.nodes+int(dst)]
@@ -210,17 +212,21 @@ func (n *Network) serviceBytes(bytes int) sim.Time {
 // companion work at delivery time — the home-gate release — need it).
 // typ labels the message for per-type statistics. Send never blocks;
 // all waiting happens in simulated time.
+//
+//dirccvet:hotpath
 func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver func()) sim.Time {
 	if deliver == nil {
 		panic("network: Send with nil deliver")
 	}
 	if bytes < 1 {
+		//dirccvet:allow allocguard panic formatting is off the steady-state path
 		panic(fmt.Sprintf("network: message %q has non-positive size %d", typ, bytes))
 	}
 	n.sent++
 	svc := n.serviceBytes(bytes)
 	now := n.sched.Now()
 	route := n.routeFor(src, dst)
+	//dirccvet:allow allocguard CountMsg lazily builds its per-type map once, not per message
 	n.counters.CountMsg(typ, bytes, len(route))
 
 	if len(route) == 0 {
@@ -231,6 +237,7 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 		if n.probe != nil {
 			n.probe(now, arrive, n.cfg.LocalDelay+svc)
 		}
+		//dirccvet:allow allocguard one delivery closure per in-flight message is the Send contract
 		n.sched.AtNode(int(dst), arrive, func() {
 			n.deliveredBy[dst]++
 			deliver()
@@ -258,6 +265,7 @@ func (n *Network) Send(typ string, src, dst topology.NodeID, bytes int, deliver 
 	if n.probe != nil {
 		n.probe(now, arrive, sim.Time(len(route))*n.cfg.HopDelay+svc)
 	}
+	//dirccvet:allow allocguard one delivery closure per in-flight message is the Send contract
 	n.sched.AtNode(int(dst), arrive, func() {
 		n.deliveredBy[dst]++
 		deliver()

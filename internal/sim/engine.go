@@ -45,6 +45,8 @@ func (a event) before(b event) bool {
 type eventQueue []event
 
 // push appends ev and restores the heap invariant.
+//
+//dirccvet:hotpath
 func (q *eventQueue) push(ev event) {
 	h := append(*q, ev)
 	// Sift up.
@@ -63,6 +65,8 @@ func (q *eventQueue) push(ev event) {
 // pop removes and returns the minimum event. The vacated tail slot is
 // zeroed so the queue does not retain the popped closure (and whatever
 // it captures) beyond its firing.
+//
+//dirccvet:hotpath
 func (q *eventQueue) pop() event {
 	h := *q
 	top := h[0]
@@ -156,6 +160,8 @@ func (e *Engine) SetProbe(fn func(Time)) { e.probe = fn }
 
 // Run fires events in timestamp order until the queue drains, Stop is
 // called, or the event budget is exhausted.
+//
+//dirccvet:hotpath
 func (e *Engine) Run() error {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -178,6 +184,8 @@ func (e *Engine) Run() error {
 
 // RunUntil fires events with timestamp <= deadline and then stops,
 // leaving later events queued. It returns the number of events fired.
+//
+//dirccvet:hotpath
 func (e *Engine) RunUntil(deadline Time) (fired uint64, err error) {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {

@@ -140,6 +140,8 @@ func (l *lane) addAct(kind uint8) {
 // run is Phase P for one lane: fire the lane's heap events at instant
 // T in sequence order. The heap cannot grow mid-phase — spawns go to
 // the provisional FIFO — so the drain is bounded by construction.
+//
+//dirccvet:hotpath
 func (l *lane) run(T Time) {
 	for len(l.q) > 0 && l.q[0].at == T {
 		ev := l.q.pop()
