@@ -542,3 +542,37 @@ func BenchmarkShardedExperiment(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) { run(b, s) })
 	}
 }
+
+// BenchmarkShardedExperimentObs times the P=64 full-map experiment on
+// 4 shards with event observability off, trace-only, and trace+attrib
+// (`make perf-shards`). The obs entries bound the per-event cost of
+// the shard-safe probe layer: Phase-P emissions append to lane-local
+// buffers and are finalized by the coordinator at their global
+// (at, seq) merge position, so the overhead is one buffered append
+// plus one replayed finalize per event, and the exported artifacts
+// stay byte-identical to a sequential run.
+func BenchmarkShardedExperimentObs(b *testing.B) {
+	run := func(b *testing.B, oc *ObsConfig) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			exp := Experiment{App: "fft", Protocol: "fm", Procs: 64, Shards: 4}
+			if oc != nil {
+				c := *oc // each run needs a fresh ObsConfig-derived probe
+				exp.Obs = &c
+			}
+			r, err := RunExperiment(exp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.ShardPlan.Fallback() {
+				b.Fatalf("fell back to sequential: %s", r.ShardPlan.ReasonToken)
+			}
+			if oc != nil && oc.Trace && r.Probe.Trace.Len() == 0 {
+				b.Fatal("trace enabled but no events captured")
+			}
+		}
+	}
+	b.Run("obs=off", func(b *testing.B) { run(b, nil) })
+	b.Run("obs=trace", func(b *testing.B) { run(b, &ObsConfig{Trace: true}) })
+	b.Run("obs=trace+attrib", func(b *testing.B) { run(b, &ObsConfig{Trace: true, Attrib: true}) })
+}

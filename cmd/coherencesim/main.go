@@ -24,7 +24,10 @@
 // structure, coordinator overhead, Amdahl attribution) after the
 // counters, -kprof-json / -kprof-trace export it as JSON / a Chrome
 // trace, and -explain-shards prints why the run would (or would not)
-// shard — without running it.
+// shard — without running it. -trace and -attrib compose with -shards:
+// event emissions stream through per-lane buffers merged in the global
+// (at, seq) order, so the exported trace and attribution are
+// byte-identical to a sequential run.
 package main
 
 import (

@@ -251,6 +251,7 @@ func main() {
 	fmt.Println(dircc.SweepCSVHeader())
 	failed := false
 	fallbacks := 0
+	shardedRuns := 0    // experiments that actually ran on the parallel kernel
 	var baseline uint64 // fm cycles of the current (app, topology, procs) group
 	for i, res := range results {
 		exp := exps[i]
@@ -264,6 +265,9 @@ func main() {
 			continue
 		}
 		r := res.Result
+		if r.ShardPlan.Shards > 1 {
+			shardedRuns++
+		}
 		if r.ShardPlan.Fallback() {
 			fallbacks++
 			fmt.Fprintf(os.Stderr, "sweep: %s/%s/%d/%s: -shards %d fell back to the sequential kernel: %s (%s)\n",
@@ -299,6 +303,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d experiments fell back to the sequential kernel (run -explain-shards for the full table)\n",
 			fallbacks, len(results))
 	}
+	if note := eventObsNote(*traceDir != "", wantAttrib, shardedRuns); note != "" {
+		fmt.Fprintln(os.Stderr, note)
+	}
 	if wantAttrib {
 		if err := writeAttrib(exps, results, *attribOut, *attribJSONOut); err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -314,6 +321,28 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// eventObsNote returns the one-line summary note confirming that
+// event-stream observability (trace / attribution) was captured on the
+// parallel kernel. The stderr contract: trace and attrib runs never
+// produce a per-run fallback warning (they are shard-eligible since
+// the lane-buffer emission merge); instead this single note appears
+// after the results when at least one instrumented experiment actually
+// ran sharded. Empty — print nothing — otherwise.
+func eventObsNote(wantTrace, wantAttrib bool, shardedRuns int) string {
+	if (!wantTrace && !wantAttrib) || shardedRuns == 0 {
+		return ""
+	}
+	what := "trace"
+	switch {
+	case wantTrace && wantAttrib:
+		what = "trace+attrib"
+	case wantAttrib:
+		what = "attrib"
+	}
+	return fmt.Sprintf("sweep: event obs: sharded (%s captured on the parallel kernel for %d experiment(s), byte-identical to sequential)",
+		what, shardedRuns)
 }
 
 // writeKProf emits the per-experiment kernel-profile reports as CSV

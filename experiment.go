@@ -54,10 +54,11 @@ type Experiment struct {
 	// byte-identical to the sequential engine at every shard count.
 	// 0 or 1 selects the sequential kernel. Values above 1 apply only
 	// when the run is eligible — the protocol engine is shard-safe and
-	// the run uses no checker, no event-stream observability (trace or
-	// attribution; watchdog/sampler/gauge are shard-compatible), and no
-	// memory-resident locks — and fall back to the sequential kernel
-	// otherwise, so sweeps can set Shards unconditionally. The
+	// the run uses no checker and no memory-resident locks — and fall
+	// back to the sequential kernel otherwise, so sweeps can set Shards
+	// unconditionally. Observability composes fully: trace and
+	// attribution stream through per-lane buffers merged in the global
+	// (at, seq) order, byte-identical to the sequential run. The
 	// structured fallback reason is returned in Result.ShardPlan and
 	// queryable up front via ExplainShards.
 	Shards int
@@ -131,15 +132,6 @@ func (oc *ObsConfig) probe(ctr *Counters) (*obs.Probe, *attrib.Collector) {
 	return p, col
 }
 
-// needsEventStream reports whether the config enables a component that
-// consumes the totally-ordered per-event stream — the only instruments
-// incompatible with the parallel kernel. Watchdog, sampler, and gauge
-// are driven from the kernel's coordinator tick instead and shard
-// cleanly.
-func (oc *ObsConfig) needsEventStream() bool {
-	return oc != nil && (oc.Trace || oc.Attrib)
-}
-
 // ShardReason explains a shard-plan decision.
 type ShardReason int
 
@@ -154,9 +146,6 @@ const (
 	// ShardMemLocks: memory-resident ticket locks arbitrate through
 	// global state the lanes would contend on.
 	ShardMemLocks
-	// ShardObsEventStream: an event-stream instrument (trace or latency
-	// attribution) needs the sequential engine's total event order.
-	ShardObsEventStream
 	// ShardEngineUnsafe: the protocol engine does not declare itself
 	// shard-safe (chain/tree families splice peer-node metadata).
 	ShardEngineUnsafe
@@ -174,8 +163,6 @@ func (r ShardReason) String() string {
 		return "checked-run"
 	case ShardMemLocks:
 		return "mem-locks"
-	case ShardObsEventStream:
-		return "obs-event-stream"
 	case ShardEngineUnsafe:
 		return "engine-not-shard-safe"
 	}
@@ -193,8 +180,6 @@ func (r ShardReason) Describe() string {
 		return "coherence checker inspects all caches cross-lane"
 	case ShardMemLocks:
 		return "memory-resident ticket locks serialize on global state"
-	case ShardObsEventStream:
-		return "event trace / latency attribution needs the sequential total event order"
 	case ShardEngineUnsafe:
 		return "protocol engine is not shard-safe (cross-node chain/tree surgery)"
 	}
@@ -220,8 +205,10 @@ func (p ShardPlan) Fallback() bool { return p.Requested > 1 && p.Shards <= 1 }
 
 // shardPlan resolves the shard count a run actually uses, mirroring
 // the sharded machine's restrictions. Fallback order is most-specific
-// first: explicit sequential request, checker, locks, event-stream
-// observability, then engine safety.
+// first: explicit sequential request, checker, locks, then engine
+// safety. Observability never forces a fallback: the event stream is
+// merged deterministically from per-lane buffers, and watchdog /
+// sampler / gauge ride the coordinator tick.
 func (exp Experiment) shardPlan(eng Engine) ShardPlan {
 	plan := ShardPlan{Requested: exp.Shards, Shards: 1}
 	switch {
@@ -231,8 +218,6 @@ func (exp Experiment) shardPlan(eng Engine) ShardPlan {
 		plan.Reason = ShardCheckedRun
 	case exp.MemLocks:
 		plan.Reason = ShardMemLocks
-	case exp.Obs.needsEventStream():
-		plan.Reason = ShardObsEventStream
 	default:
 		if ss, ok := eng.(coherent.ShardSafe); !ok || !ss.ShardSafeEngine() {
 			plan.Reason = ShardEngineUnsafe

@@ -142,11 +142,22 @@ type Machine struct {
 	// parallel kernel.
 	kprof *kprof.Profile
 
-	// shardProbe holds the shard-compatible subset of an attached probe
-	// (watchdog, sampler, gauge) on sharded machines, where Probe stays
-	// nil so the per-event hot-path hooks remain disabled. Driven from
-	// the kernel's coordinator tick, never from lane goroutines.
+	// shardProbe holds the tick-driven subset of an attached probe
+	// (watchdog, sampler, gauge) on sharded machines. Driven from the
+	// kernel's coordinator tick, never from lane goroutines. When the
+	// probe also carries event-stream components (Trace, Sinks), Probe
+	// is additionally set with a route hook so emissions land in the
+	// per-lane buffers below.
 	shardProbe *obs.Probe
+
+	// laneObs are the per-lane emission buffers for event-stream
+	// observability under the sharded kernel: events emitted during a
+	// parallel phase are appended to the firing lane's buffer and
+	// finalized — ID/wave tagging plus trace/sink fan-out on the
+	// coordinator — by ReplayEmit, in the global deterministic (at, seq)
+	// order. Nil unless a trace or sink is attached to a sharded
+	// machine.
+	laneObs []obs.LaneBuffer
 
 	// laneProg tracks, per lane, the last simulated cycle at which one
 	// of the lane's nodes retired an operation — the sharded watchdog's
@@ -465,6 +476,38 @@ func (m *Machine) ReplaySend(lane, idx int) {
 	m.sendNow(msg)
 }
 
+// routeEvent is the probe's emission router on a sharded machine.
+// During Phase P the pre-built event is parked in the firing lane's
+// buffer and logged with the kernel, which calls ReplayEmit at the
+// event's merge position; outside Phase P (replayed sends and global
+// ops, setup, quiesce) the emission is already at its merge position
+// and finalizes inline. node is the node the firing event executes at
+// (the delivery destination for MsgDeliver, the source otherwise), so
+// the buffer append stays lane-local.
+func (m *Machine) routeEvent(node int, e obs.Event, idSlot *int64) {
+	if m.shard.InPhase() {
+		m.laneObs[m.shard.LaneOf(node)].Append(e, idSlot)
+		m.shard.LogEmitAt(node)
+		return
+	}
+	if m.Probe != nil {
+		m.Probe.Finalize(e, idSlot)
+	}
+}
+
+// ReplayEmit implements sim.EmitReplayer: it finalizes the idx-th
+// buffered emission of the given lane at the deterministic global
+// position the sharded kernel derives from the parallel phase. The
+// probe assigns the order-dependent tags (message ID, wave number)
+// here, so the finalized stream is byte-identical to the sequential
+// engine's.
+func (m *Machine) ReplayEmit(lane, idx int) {
+	e, idSlot := m.laneObs[lane].Take(idx)
+	if m.Probe != nil {
+		m.Probe.Finalize(e, idSlot)
+	}
+}
+
 // sendNow injects msg into the network model. For RelHome messages it
 // also schedules the write commit and home-gate release as a companion
 // event at the delivery instant, consuming the sequence number right
@@ -511,11 +554,14 @@ func (m *Machine) markHomeCommit(msg *Msg) {
 // reports transport timing. A watchdog without a dump function gets
 // the machine's state dump. Call before running the workload.
 //
-// On a sharded machine only the event-stream components (Trace, Sinks)
-// are rejected — they need the sequential engine's total event order.
-// Watchdog, sampler, and gauge attach fine: they are driven from the
-// coordinator's per-sub-round tick instead of per-event hooks, with
-// per-lane progress slots folded after the wave barrier.
+// On a sharded machine every component attaches. Watchdog, sampler,
+// and gauge are driven from the coordinator's per-sub-round tick
+// instead of per-event hooks, with per-lane progress slots folded
+// after the wave barrier. The event-stream components (Trace, Sinks)
+// run through per-lane emission buffers with a deterministic merge:
+// Phase-P emissions are parked lane-locally and finalized by the
+// kernel's replay at their exact (at, seq) position, so the event
+// stream is byte-identical to the sequential run at any shard count.
 func (m *Machine) AttachProbe(p *obs.Probe) {
 	if m.shard != nil {
 		m.attachShardProbe(p)
@@ -550,13 +596,19 @@ func (m *Machine) AttachProbe(p *obs.Probe) {
 	}
 }
 
-// attachShardProbe wires the shard-compatible observability components
-// (watchdog, sampler, gauge) into a sharded machine. The event-stream
-// components would need the sequential engine's total event order and
-// are rejected; RunExperiment's shard plan falls back before reaching
-// here, so the panic only catches direct misuse.
+// attachShardProbe wires an observability probe into a sharded
+// machine: the tick-driven components (watchdog, sampler, gauge) hang
+// off the coordinator's sub-round tick, and the event-stream
+// components (trace, sinks) get per-lane emission buffers routed
+// through the kernel's deterministic merge.
 func (m *Machine) attachShardProbe(p *obs.Probe) {
 	if p == nil {
+		if m.Probe != nil {
+			m.Probe.SetRoute(nil)
+		}
+		m.Probe = nil
+		m.laneObs = nil
+		m.shard.SetEmitReplayer(nil)
 		m.shardProbe = nil
 		m.laneProg = nil
 		m.shard.SetTick(nil)
@@ -564,7 +616,14 @@ func (m *Machine) attachShardProbe(p *obs.Probe) {
 		return
 	}
 	if p.Trace != nil || len(p.Sinks) > 0 {
-		panic("coherent: event-stream observability (trace, attribution sinks) requires the sequential engine")
+		// Event-stream components attach through the lane-buffer route:
+		// the machine's per-event hooks fire on lane goroutines during
+		// Phase P and buffer the emission; the kernel replays each at its
+		// merge position (ReplayEmit), where the probe finalizes it.
+		m.Probe = p
+		m.laneObs = make([]obs.LaneBuffer, m.shard.Shards())
+		p.SetRoute(m.routeEvent)
+		m.shard.SetEmitReplayer(m)
 	}
 	m.shardProbe = p
 	wd := p.Watchdog
@@ -1083,8 +1142,11 @@ func (m *Machine) CompleteTxn(txn *Txn, st cache.State, val uint64, meta any) {
 // Send transmits msg over the network and dispatches it on arrival.
 func (m *Machine) Send(msg *Msg) {
 	if m.Probe != nil {
-		msg.probeID = m.Probe.MsgSend(uint64(m.Now()), msg.Type.String(),
-			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester), msg.ToDir)
+		// The probe writes the message ID through the slot: immediately on
+		// a sequential machine, at the emission's merge position on a
+		// sharded one. Either way the ID lands before the delivery fires.
+		m.Probe.MsgSend(uint64(m.Now()), msg.Type.String(),
+			int(msg.Src), int(msg.Dst), uint64(msg.Block), int(msg.Requester), msg.ToDir, &msg.probeID)
 	}
 	if m.sendHook != nil {
 		deliver := func() { m.dispatch(msg) }

@@ -71,11 +71,12 @@ func goodNested(m *machine) {
 }
 
 // The sink emit pattern from the attribution collector wiring: the
-// send returns the probe-assigned message id, which later feeds the
-// matching deliver. Both calls are probe methods and need the guard
-// whether or not the id result is used.
+// send writes the probe-assigned message id through the slot, which
+// later feeds the matching deliver. Both calls are probe methods and
+// need the guard whether or not the id slot is used.
 func badSinkSend(m *machine) {
-	id := m.probe.MsgSend(m.now, "Inv", 0, 1, 9, 2, true) // want `without a m.probe != nil guard`
+	var id int64
+	m.probe.MsgSend(m.now, "Inv", 0, 1, 9, 2, true, &id) // want `without a m.probe != nil guard`
 	_ = id
 }
 
@@ -90,7 +91,8 @@ func goodSinkSendDeliver(m *machine) {
 	if m.probe == nil {
 		return
 	}
-	id := m.probe.MsgSend(m.now, "Inv", 0, 1, 9, 2, true)
+	var id int64
+	m.probe.MsgSend(m.now, "Inv", 0, 1, 9, 2, true, &id)
 	m.probe.MsgDeliver(m.now+1, id, "Inv", 0, 1, 9, true)
 	m.probe.HomeStart(m.now+2, 1, 9, "WriteReq", 2)
 }

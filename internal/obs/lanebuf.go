@@ -1,0 +1,44 @@
+package obs
+
+// emission is one Phase-P event a lane buffered, paired with the slot
+// that will receive its message ID at finalize time (sends only).
+type emission struct {
+	e      Event
+	idSlot *int64
+}
+
+// LaneBuffer holds the structured events one kernel lane emitted during
+// the current parallel phase, in that lane's own (at, seq) order. Each
+// buffer is written only by its owning lane goroutine during Phase P
+// and drained only by the coordinator during replay, so no entry is
+// ever touched from two goroutines at once. The trailing pad keeps
+// adjacent lanes' slice headers on separate cache lines so concurrent
+// appends never false-share.
+//
+// The backing array is retained across phases: after the first few
+// waves warm it up, Append never allocates.
+type LaneBuffer struct {
+	ents []emission
+	_    [40]byte // slice header is 24 bytes; pad to a 64-byte line
+}
+
+// Append buffers one emission. Owning lane only, Phase P only.
+func (b *LaneBuffer) Append(e Event, idSlot *int64) {
+	b.ents = append(b.ents, emission{e: e, idSlot: idSlot})
+}
+
+// Take returns buffered emission idx and clears it (dropping the idSlot
+// pointer so finished messages can be collected). Taking the last entry
+// resets the buffer for the next phase, keeping the backing array.
+// Coordinator only, during replay.
+func (b *LaneBuffer) Take(idx int) (Event, *int64) {
+	ent := b.ents[idx]
+	b.ents[idx] = emission{}
+	if idx == len(b.ents)-1 {
+		b.ents = b.ents[:0]
+	}
+	return ent.e, ent.idSlot
+}
+
+// Len reports the number of pending emissions (for tests and gauges).
+func (b *LaneBuffer) Len() int { return len(b.ents) }

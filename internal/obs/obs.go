@@ -46,7 +46,22 @@ type Probe struct {
 
 	nextID int64
 	waves  map[uint64]int
+
+	// route, when set, diverts every structured emission to the sharded
+	// machine's lane-local buffers instead of finalizing inline: during
+	// Phase P the Probe's methods run concurrently on lane goroutines,
+	// so nothing order-dependent (message IDs, wave tags, watchdog
+	// state, the trace itself) may be touched there. The buffered
+	// events are finalized one by one on the coordinator, at their
+	// exact position in the global (at, seq) merge — see Finalize.
+	// Direct watchdog touches (TxnEnd/Progress) are suppressed under a
+	// route; the shard coordinator drives progress and stall checks.
+	route func(node int, e Event, idSlot *int64)
 }
+
+// SetRoute installs (or, with nil, removes) the sharded emission
+// router. Must not be called while a simulation is running.
+func (p *Probe) SetRoute(fn func(node int, e Event, idSlot *int64)) { p.route = fn }
 
 // active reports whether any consumer wants structured events.
 func (p *Probe) active() bool { return p.Trace != nil || len(p.Sinks) > 0 }
@@ -73,39 +88,86 @@ func (p *Probe) Tick(now uint64) {
 	}
 }
 
-// MsgSend records a coherence message entering the network and returns
-// an identifier the matching MsgDeliver must echo (0 when no trace or
-// sink is attached). dir marks directory-bound messages (acks and
-// requests addressed to the home's directory logic rather than a
-// cache). Invalidation-type messages are tagged with the block's
-// current write wave and counted toward the watchdog's hot-block
-// table.
-func (p *Probe) MsgSend(now uint64, typ string, src, dst int, block uint64, requester int, dir bool) int64 {
-	if p.Watchdog != nil && (typ == "Inv" || typ == "Update" || typ == "ReplaceInv") {
-		p.Watchdog.NoteInv(block)
-	}
-	if !p.active() {
-		return 0
-	}
-	p.nextID++
-	e := Event{
-		At: now, Kind: KindSend, Type: typ, Src: src, Dst: dst,
-		Block: block, Req: requester, ID: p.nextID, Dir: dir,
-	}
-	// Only gate-serialized wave members carry a wave tag; Replace_INV
-	// teardowns are replacement-driven and orthogonal to write waves.
-	if typ == "Inv" || typ == "Update" {
-		e.Wave = p.waves[block]
+// Finalize applies the order-dependent parts of an emission — message
+// ID assignment, wave tagging, the watchdog hot-block count, the wave
+// counter bump — and fans the event out to the trace and sinks. In
+// sequential runs every emission finalizes inline; in sharded runs the
+// route hook buffers Phase-P emissions per lane and the coordinator
+// calls Finalize for each at its position in the global (at, seq)
+// merge, so the finalized stream is byte-identical to the sequential
+// run. idSlot, when non-nil, receives the assigned message ID (sends
+// only); it points into the in-flight Msg so the delivery side can
+// echo the ID without any closure allocation.
+func (p *Probe) Finalize(e Event, idSlot *int64) {
+	switch e.Kind {
+	case KindSend:
+		if p.Watchdog != nil && (e.Type == "Inv" || e.Type == "Update" || e.Type == "ReplaceInv") {
+			p.Watchdog.NoteInv(e.Block)
+		}
+		if !p.active() {
+			return
+		}
+		p.nextID++
+		e.ID = p.nextID
+		if idSlot != nil {
+			*idSlot = e.ID
+		}
+		// Only gate-serialized wave members carry a wave tag; Replace_INV
+		// teardowns are replacement-driven and orthogonal to write waves.
+		if e.Type == "Inv" || e.Type == "Update" {
+			e.Wave = p.waves[e.Block]
+		}
+	case KindHomeStart:
+		if !p.active() {
+			return
+		}
+		// A gated write starting is the serialization point that opens a
+		// new invalidation wave on the block.
+		if e.Type == "WriteReq" {
+			if p.waves == nil {
+				p.waves = make(map[uint64]int)
+			}
+			p.waves[e.Block]++
+		}
+	default:
+		if !p.active() {
+			return
+		}
 	}
 	p.emit(e)
-	return p.nextID
 }
 
-// MsgDeliver records the arrival of the message identified by id.
-func (p *Probe) MsgDeliver(now uint64, id int64, typ string, src, dst int, block uint64, dir bool) {
-	if p.active() {
-		p.emit(Event{At: now, Kind: KindDeliver, Type: typ, Src: src, Dst: dst, Block: block, ID: id, Dir: dir})
+// MsgSend records a coherence message entering the network. idSlot,
+// when non-nil, receives the identifier the matching MsgDeliver must
+// echo (it is left untouched when no trace or sink is attached); in
+// sharded runs the ID is only assigned at the emission's merge
+// position, which is why the slot replaces a return value. dir marks
+// directory-bound messages (acks and requests addressed to the home's
+// directory logic rather than a cache). Invalidation-type messages are
+// tagged with the block's current write wave and counted toward the
+// watchdog's hot-block table.
+func (p *Probe) MsgSend(now uint64, typ string, src, dst int, block uint64, requester int, dir bool, idSlot *int64) {
+	e := Event{
+		At: now, Kind: KindSend, Type: typ, Src: src, Dst: dst,
+		Block: block, Req: requester, Dir: dir,
 	}
+	if p.route != nil {
+		p.route(src, e, idSlot)
+		return
+	}
+	p.Finalize(e, idSlot)
+}
+
+// MsgDeliver records the arrival of the message identified by id. In
+// sharded runs deliveries fire at least one sub-round after their send
+// was finalized, so reading the ID out of the message is race-free.
+func (p *Probe) MsgDeliver(now uint64, id int64, typ string, src, dst int, block uint64, dir bool) {
+	e := Event{At: now, Kind: KindDeliver, Type: typ, Src: src, Dst: dst, Block: block, ID: id, Dir: dir}
+	if p.route != nil {
+		p.route(dst, e, nil)
+		return
+	}
+	p.Finalize(e, nil)
 }
 
 // NetSend records network-level transport timing for one message:
@@ -120,17 +182,24 @@ func (p *Probe) NetSend(start, arrive, unloaded uint64) {
 
 // TxnStart records a processor miss transaction beginning at a node.
 func (p *Probe) TxnStart(now uint64, node int, block uint64, write bool) {
-	if p.active() {
-		p.emit(Event{At: now, Kind: KindTxnStart, Src: node, Dst: node, Block: block, Write: write})
+	e := Event{At: now, Kind: KindTxnStart, Src: node, Dst: node, Block: block, Write: write}
+	if p.route != nil {
+		p.route(node, e, nil)
+		return
 	}
+	p.Finalize(e, nil)
 }
 
 // TxnEnd records a miss transaction completing. It counts as forward
-// progress for the watchdog.
+// progress for the watchdog (in sharded runs the coordinator feeds the
+// watchdog from the per-lane progress fold instead).
 func (p *Probe) TxnEnd(now uint64, node int, block uint64, write bool) {
-	if p.active() {
-		p.emit(Event{At: now, Kind: KindTxnEnd, Src: node, Dst: node, Block: block, Write: write})
+	e := Event{At: now, Kind: KindTxnEnd, Src: node, Dst: node, Block: block, Write: write}
+	if p.route != nil {
+		p.route(node, e, nil)
+		return
 	}
+	p.Finalize(e, nil)
 	if p.Watchdog != nil {
 		p.Watchdog.Progress(now)
 	}
@@ -139,6 +208,9 @@ func (p *Probe) TxnEnd(now uint64, node int, block uint64, write bool) {
 // Progress marks processor forward progress that is not a miss
 // completion (cache hits retiring).
 func (p *Probe) Progress(now uint64) {
+	if p.route != nil {
+		return // the shard coordinator folds lane progress instead
+	}
 	if p.Watchdog != nil {
 		p.Watchdog.Progress(now)
 	}
@@ -146,40 +218,46 @@ func (p *Probe) Progress(now uint64) {
 
 // CacheState records a cache-line state transition at a node.
 func (p *Probe) CacheState(now uint64, node int, block uint64, from, to string) {
-	if p.active() {
-		p.emit(Event{At: now, Kind: KindCacheState, Src: node, Dst: node, Block: block, Label: from + "->" + to})
+	e := Event{At: now, Kind: KindCacheState, Src: node, Dst: node, Block: block, Label: from + "->" + to}
+	if p.route != nil {
+		p.route(node, e, nil)
+		return
 	}
+	p.Finalize(e, nil)
 }
 
 // DirState records a directory transition at a block's home node. The
 // label is protocol-specific ("uncached->shared", "merge l2", ...);
 // callers must only build it when tracing is enabled.
 func (p *Probe) DirState(now uint64, home int, block uint64, label string) {
-	if p.active() {
-		p.emit(Event{At: now, Kind: KindDirState, Src: home, Dst: home, Block: block, Label: label})
+	e := Event{At: now, Kind: KindDirState, Src: home, Dst: home, Block: block, Label: label}
+	if p.route != nil {
+		p.route(home, e, nil)
+		return
 	}
+	p.Finalize(e, nil)
 }
 
 // GateWait records a gated request queuing behind a busy home gate.
 func (p *Probe) GateWait(now uint64, home int, block uint64, typ string) {
-	if p.active() {
-		p.emit(Event{At: now, Kind: KindGateWait, Type: typ, Src: home, Dst: home, Block: block})
+	e := Event{At: now, Kind: KindGateWait, Type: typ, Src: home, Dst: home, Block: block}
+	if p.route != nil {
+		p.route(home, e, nil)
+		return
 	}
+	p.Finalize(e, nil)
 }
 
-// HomeStart records the home beginning to process a gated request. A
-// gated write starting is the serialization point that opens a new
-// invalidation wave on the block.
+// HomeStart records the home beginning to process a gated request.
+// The wave-counter bump for gated writes happens in Finalize, so it
+// lands in merge order on sharded runs.
 func (p *Probe) HomeStart(now uint64, home int, block uint64, typ string, requester int) {
-	if p.active() {
-		if typ == "WriteReq" {
-			if p.waves == nil {
-				p.waves = make(map[uint64]int)
-			}
-			p.waves[block]++
-		}
-		p.emit(Event{At: now, Kind: KindHomeStart, Type: typ, Src: home, Dst: home, Block: block, Req: requester})
+	e := Event{At: now, Kind: KindHomeStart, Type: typ, Src: home, Dst: home, Block: block, Req: requester}
+	if p.route != nil {
+		p.route(home, e, nil)
+		return
 	}
+	p.Finalize(e, nil)
 }
 
 func min64(a, b uint64) uint64 {

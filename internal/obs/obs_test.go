@@ -14,7 +14,8 @@ import (
 // sendDeliver records a send at t0 and its delivery at t1 through the
 // probe, returning the message id.
 func sendDeliver(p *Probe, t0, t1 uint64, typ string, src, dst int, block uint64, req int) int64 {
-	id := p.MsgSend(t0, typ, src, dst, block, req, false)
+	var id int64
+	p.MsgSend(t0, typ, src, dst, block, req, false, &id)
 	p.MsgDeliver(t1, id, typ, src, dst, block, false)
 	return id
 }
@@ -51,17 +52,17 @@ func TestWaveTagging(t *testing.T) {
 	tr := NewTrace()
 	p := &Probe{Trace: tr}
 	// No wave open yet: an Inv before any gated write carries wave 0.
-	p.MsgSend(1, "Inv", 0, 1, 7, 0, false)
+	p.MsgSend(1, "Inv", 0, 1, 7, 0, false, nil)
 	p.HomeStart(5, 0, 7, "WriteReq", 2)
-	p.MsgSend(6, "Inv", 0, 1, 7, 2, false)
-	p.MsgSend(6, "Inv", 0, 3, 7, 2, false)
+	p.MsgSend(6, "Inv", 0, 1, 7, 2, false, nil)
+	p.MsgSend(6, "Inv", 0, 3, 7, 2, false, nil)
 	p.HomeStart(50, 0, 7, "WriteReq", 3)
-	p.MsgSend(51, "Inv", 0, 1, 7, 3, false)
+	p.MsgSend(51, "Inv", 0, 1, 7, 3, false, nil)
 	// Replace_INV is not part of a gated wave.
-	p.MsgSend(60, "ReplaceInv", 1, 2, 7, 1, false)
+	p.MsgSend(60, "ReplaceInv", 1, 2, 7, 1, false, nil)
 	// A read starting does not open a wave.
 	p.HomeStart(70, 0, 9, "ReadReq", 4)
-	p.MsgSend(71, "Inv", 0, 1, 9, 4, false)
+	p.MsgSend(71, "Inv", 0, 1, 9, 4, false, nil)
 
 	waves := make(map[int]int) // wave -> count, block 7 only
 	for _, e := range tr.Events() {
@@ -240,9 +241,9 @@ func TestWatchdogStall(t *testing.T) {
 	p := &Probe{Watchdog: w}
 
 	p.Progress(10)
-	p.MsgSend(11, "Inv", 0, 1, 77, 2, false)
-	p.MsgSend(12, "Inv", 0, 2, 77, 2, false)
-	p.MsgSend(13, "Inv", 0, 2, 33, 2, false)
+	p.MsgSend(11, "Inv", 0, 1, 77, 2, false, nil)
+	p.MsgSend(12, "Inv", 0, 2, 77, 2, false, nil)
+	p.MsgSend(13, "Inv", 0, 2, 33, 2, false, nil)
 	p.Tick(500) // within budget
 	if w.Stalled() {
 		t.Fatal("fired early")
@@ -294,12 +295,12 @@ func TestHotBlocks(t *testing.T) {
 	tr := NewTrace()
 	p := &Probe{Trace: tr}
 	for i := 0; i < 5; i++ {
-		p.MsgSend(uint64(i), "Inv", 0, 1, 9, 2, false)
+		p.MsgSend(uint64(i), "Inv", 0, 1, 9, 2, false, nil)
 	}
 	for i := 0; i < 3; i++ {
-		p.MsgSend(uint64(i), "ReplaceInv", 0, 1, 4, 2, false)
+		p.MsgSend(uint64(i), "ReplaceInv", 0, 1, 4, 2, false, nil)
 	}
-	p.MsgSend(9, "DataReply", 0, 1, 100, 2, false) // not an invalidation
+	p.MsgSend(9, "DataReply", 0, 1, 100, 2, false, nil) // not an invalidation
 	hot := HotBlocks(tr.Events(), 10)
 	if len(hot) != 2 || hot[0].Block != 9 || hot[0].Count != 5 || hot[1].Block != 4 || hot[1].Count != 3 {
 		t.Fatalf("hot blocks = %+v", hot)

@@ -60,6 +60,16 @@ type SendReplayer interface {
 	ReplaySend(lane, idx int)
 }
 
+// EmitReplayer finalizes one observability emission that a lane
+// buffered during Phase P. The coherence machine implements this: it
+// holds the pre-built event in a per-lane buffer and hands it to the
+// probe — which assigns order-dependent tags like message IDs and wave
+// numbers — when the merge reaches the logged position. That makes the
+// finalized event stream identical to the sequential engine's.
+type EmitReplayer interface {
+	ReplayEmit(lane, idx int)
+}
+
 // NodeScheduler is the scheduling surface the network layer needs:
 // the current instant plus the ability to deliver a closure to a
 // specific node at an absolute time. Both Engine (node-oblivious) and
@@ -86,6 +96,7 @@ const (
 	actSpawn  uint8 = iota // one Schedule by a lane event: binds the next true seq
 	actSend                // one deferred network send: replayed via SendReplayer
 	actGlobal              // one global-state closure: executed at merge position
+	actEmit                // one buffered probe emission: finalized via EmitReplayer
 )
 
 // pevent is a provisional event: spawned during Phase P, buffered
@@ -152,9 +163,9 @@ func (l *lane) run(T Time) {
 }
 
 // replCur tracks a lane's replay position: log entry, flattened
-// action, send, global-fn, and bind indices.
+// action, send, global-fn, emission, and bind indices.
 type replCur struct {
-	li, ai, si, gi, bi int
+	li, ai, si, gi, ei, bi int
 }
 
 // Sharded is a conservative parallel discrete-event engine that is
@@ -175,6 +186,7 @@ type Sharded struct {
 	cur    []replCur
 
 	replayer SendReplayer
+	emitter  EmitReplayer
 
 	// prof, when non-nil, receives the kernel profiling hooks (see
 	// internal/kprof). Every hook site is behind a nil check, so an
@@ -247,6 +259,10 @@ func (s *Sharded) Pending() int {
 // before Run if any Phase-P event defers a send.
 func (s *Sharded) SetReplayer(r SendReplayer) { s.replayer = r }
 
+// SetEmitReplayer installs the probe-emission replayer. Required
+// before Run if any Phase-P event logs an emission via LogEmitAt.
+func (s *Sharded) SetEmitReplayer(r EmitReplayer) { s.emitter = r }
+
 // SetProf attaches a kernel profile. Must be set before Run; nil
 // detaches. Profiling reads only the host clock and never the
 // simulated state, so results are byte-identical with it on or off.
@@ -298,6 +314,17 @@ func (s *Sharded) LogSendAt(n int) {
 		panic("sim: LogSendAt outside Phase P (send directly instead)")
 	}
 	s.lanes[s.laneOf[n]].addAct(actSend)
+}
+
+// LogEmitAt records that the event firing on node n's lane buffered
+// one observability emission. Phase P only — emissions from replay or
+// idle contexts are already at their merge position and finalize
+// directly.
+func (s *Sharded) LogEmitAt(n int) {
+	if s.state != statePhase {
+		panic("sim: LogEmitAt outside Phase P (finalize directly instead)")
+	}
+	s.lanes[s.laneOf[n]].addAct(actEmit)
 }
 
 // GlobalOp runs fn — which may touch only global (non-node) state —
@@ -470,6 +497,12 @@ func (s *Sharded) replay(T Time) error {
 				} else {
 					fn()
 				}
+			case actEmit:
+				if s.emitter == nil {
+					panic("sim: buffered emission with no EmitReplayer installed")
+				}
+				s.emitter.ReplayEmit(bestLane, c.ei)
+				c.ei++
 			}
 			c.ai++
 		}

@@ -258,6 +258,9 @@ func TestShardedSamplerGaugeFoldIdentity(t *testing.T) {
 // over a grid that hits every fallback class, ExplainShards must
 // return a plan whose reason token and description are non-empty, with
 // Fallback() true exactly when the effective count dropped to 1.
+// Trace and attribution runs are eligible ("ok") since the lane-buffer
+// emission merge landed; only checked runs, memory-resident locks, and
+// non-shard-safe engines still force the sequential kernel.
 func TestExplainShardsMixedGrid(t *testing.T) {
 	cases := []struct {
 		name string
@@ -268,8 +271,8 @@ func TestExplainShardsMixedGrid(t *testing.T) {
 		{"sequential", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 1}, "sequential-requested"},
 		{"checked", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Check: true}, "checked-run"},
 		{"memlocks", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, MemLocks: true}, "mem-locks"},
-		{"trace", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{Trace: true}}, "obs-event-stream"},
-		{"attrib", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{Attrib: true}}, "obs-event-stream"},
+		{"trace", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{Trace: true}}, "ok"},
+		{"attrib", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{Attrib: true}}, "ok"},
 		{"sampler-ok", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{SampleEvery: 5000, StallCycles: 1 << 40}}, "ok"},
 		{"unsafe-engine", Experiment{App: "fft", Protocol: "sci", Procs: 8, Shards: 4}, "engine-not-shard-safe"},
 		{"unsafe-tree", Experiment{App: "fft", Protocol: "T4", Procs: 8, Shards: 4}, "engine-not-shard-safe"},

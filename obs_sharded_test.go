@@ -1,0 +1,74 @@
+package dircc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// shardedObsArtifacts runs one fully-instrumented experiment (trace +
+// attribution) and returns the exported Chrome trace, the raw JSONL
+// event stream, and the attribution report JSON. shards == 0 is the
+// sequential baseline; shards > 1 must actually run on the parallel
+// kernel.
+func shardedObsArtifacts(t *testing.T, scheme string, shards int) (chrome, jsonl, attrib []byte) {
+	t.Helper()
+	exp := Experiment{
+		App: "fft", Protocol: scheme, Procs: 8, Shards: shards,
+		Obs: &ObsConfig{Trace: true, Attrib: true},
+	}
+	r, err := RunExperiment(exp)
+	if err != nil {
+		t.Fatalf("%s S=%d: %v", scheme, shards, err)
+	}
+	if shards > 1 && r.ShardPlan.Fallback() {
+		t.Fatalf("%s S=%d: fell back to the sequential kernel (%s)", scheme, shards, r.ShardPlan.ReasonToken)
+	}
+	if len(r.Probe.Trace.Events()) == 0 {
+		t.Fatalf("%s S=%d: empty trace", scheme, shards)
+	}
+	var cb, jb bytes.Buffer
+	if err := r.Probe.Trace.WriteChromeTrace(&cb); err != nil {
+		t.Fatalf("%s S=%d chrome trace: %v", scheme, shards, err)
+	}
+	if err := r.Probe.Trace.WriteJSONL(&jb); err != nil {
+		t.Fatalf("%s S=%d jsonl: %v", scheme, shards, err)
+	}
+	aj, err := json.MarshalIndent(r.Attrib.Report(), "", "  ")
+	if err != nil {
+		t.Fatalf("%s S=%d attrib json: %v", scheme, shards, err)
+	}
+	return cb.Bytes(), jb.Bytes(), aj
+}
+
+// TestShardedTraceAttribByteIdentity is the PR 9 acceptance gate: with
+// event-stream observability attached, the sharded kernel's exported
+// Chrome trace, raw event stream, and attribution fold must be
+// byte-identical to the sequential run at every shard count — the same
+// guarantee already pinned for the sweep CSV and the kprof CSV. This
+// holds because Phase-P emissions are buffered per lane and finalized
+// (ID/wave assignment, sink fan-out) in the kernel's global (at, seq)
+// merge order, which equals the sequential firing order.
+func TestShardedTraceAttribByteIdentity(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 8}
+	if raceEnabled {
+		shardCounts = []int{2, 8}
+	}
+	for _, scheme := range []string{"fm", "l4", "b4", "ll4"} {
+		seqChrome, seqJSONL, seqAttrib := shardedObsArtifacts(t, scheme, 0)
+		for _, s := range shardCounts {
+			chrome, jsonl, attrib := shardedObsArtifacts(t, scheme, s)
+			if !bytes.Equal(chrome, seqChrome) {
+				t.Errorf("%s S=%d: Chrome trace differs from sequential (%d vs %d bytes)",
+					scheme, s, len(chrome), len(seqChrome))
+			}
+			if !bytes.Equal(jsonl, seqJSONL) {
+				t.Errorf("%s S=%d: JSONL event stream differs from sequential", scheme, s)
+			}
+			if !bytes.Equal(attrib, seqAttrib) {
+				t.Errorf("%s S=%d: attribution report differs from sequential:\nseq: %s\ngot: %s",
+					scheme, s, seqAttrib, attrib)
+			}
+		}
+	}
+}

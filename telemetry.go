@@ -349,6 +349,12 @@ func (sm *SweepMonitor) writeKernelMetrics(b *strings.Builder, s Snapshot) {
 		{"dircc_kernel_lane_busy_ns", "Wall ns the lane spent firing events in parallel phases.", func(l kprof.LiveLane) float64 { return float64(l.BusyNs) }},
 		{"dircc_kernel_lane_idle_ns", "Wall ns the lane spent waiting at the wave barrier.", func(l kprof.LiveLane) float64 { return float64(l.IdleNs) }},
 		{"dircc_kernel_lane_events", "Events the lane fired in parallel phases.", func(l kprof.LiveLane) float64 { return float64(l.Events) }},
+		{"dircc_kernel_lane_event_rate", "Events per wall second the lane sustained (fired events over busy+idle time).", func(l kprof.LiveLane) float64 {
+			if total := l.BusyNs + l.IdleNs; total > 0 {
+				return float64(l.Events) / (float64(total) / 1e9)
+			}
+			return 0
+		}},
 	}
 	for _, m := range lane {
 		header := false

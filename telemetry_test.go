@@ -234,6 +234,8 @@ func TestMonitorKernelMetrics(t *testing.T) {
 		`dircc_kernel_lane_busy_ns{app="fft",scheme="fm",procs="8",topology="hypercube",lane="0"}`,
 		`dircc_kernel_lane_idle_ns{app="fft",scheme="fm",procs="8",topology="hypercube",lane="3"}`,
 		`dircc_kernel_lane_events{`,
+		`dircc_kernel_lane_event_rate{`,
+		`# HELP dircc_kernel_lane_event_rate Events per wall second`,
 		`dircc_kernel_waves{`,
 		`dircc_kernel_replay_ns{`,
 		`# TYPE dircc_kernel_wave_width histogram`,
