@@ -30,30 +30,35 @@ lint: vet
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "lint: govulncheck not installed, skipping"; fi
 
 # inventory emits laneguard's per-engine cross-lane touch-point
-# work-list (sci/sll/stp/Dir_iTree_k) as JSON — the de-risking map for
-# making the remaining engines shard-safe. A report, not a gate.
+# work-list as JSON. Since the chain/tree restructure all engines
+# certify shard-safe, so the expected output is empty touch-point
+# lists; any entry here is a regression (TestLaneGuardInventory pins
+# this). A report, not a gate.
 inventory:
 	$(GO) run ./cmd/dirccvet -mode inventory -json ./... > lane-inventory.json
 	@echo "inventory: wrote lane-inventory.json"
 
 # check runs the exhaustive model checker over every protocol engine
 # (internal/check: all interleavings of the tiny-config grid, plus the
-# mutation self-test that proves the checker catches a seeded bug),
-# the time-boxed differential fuzz smoke tier, and the sharded-kernel
-# large-machine smoke (P=256 on 8 shards, byte-identical to
-# sequential).
+# mutation self-tests that prove the checker catches a seeded
+# protocol bug and the lane-partition audit catches a wrong-lane
+# mutation), the time-boxed differential fuzz smoke tier, and the
+# sharded-kernel large-machine smoke (P=256 on 8 shards,
+# byte-identical to sequential).
 check: smoke
-	$(GO) test ./internal/check -v -run 'TestExhaustive|TestMutationCaught'
+	$(GO) test ./internal/check -v -run 'TestExhaustive|TestMutationCaught|TestLaneMutantCaught'
 	$(GO) test . -v -run 'TestShardedLargeP'
 
 # smoke is the differential fuzzer's CI tier: 200 seed-derived
 # workloads through all six engine families with the full-map oracle,
 # the mutant sensitivity test proving the harness catches a seeded
-# replacement bug, and the sharded-kernel determinism oracle (the same
-# 200 seeds, each shard-safe engine sequential vs 4 shards, bit-exact
-# cycles/memory/read digests). Budgeted at under a minute.
+# replacement bug, the sharded-kernel determinism oracle (the same
+# 200 seeds, every engine family sequential vs 4 shards, bit-exact
+# cycles/memory/read digests), and the chain-surgery adversarial sweep
+# (200 seeds of concurrent mid-chain eviction/re-attach/invalidation
+# races over the list and tree schemes). Budgeted at under a minute.
 smoke:
-	$(GO) test ./internal/fuzz -run 'TestSmokeDifferential|TestRegressionSeeds|TestFuzzCatchesMutant|TestShardedFuzzSmoke'
+	$(GO) test ./internal/fuzz -run 'TestSmokeDifferential|TestRegressionSeeds|TestFuzzCatchesMutant|TestShardedFuzzSmoke|TestChainSurgerySmoke'
 
 # fuzz explores fresh seeds with the native fuzzing engine. Override
 # FUZZTIME for longer hunts; crashers land in testdata/fuzz/ as new
@@ -62,6 +67,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/fuzz -fuzz FuzzDifferential -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/fuzz -fuzz FuzzDirTree -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/fuzz -fuzz FuzzChainSurgery -fuzztime $(FUZZTIME) -run '^$$'
 
 # stress soaks the differential harness from a wall-clock budget,
 # minimizing and persisting witnesses for anything it finds.

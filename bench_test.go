@@ -543,6 +543,37 @@ func BenchmarkShardedExperiment(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedExperimentFamilies times each chain/tree family —
+// the engines the shard-safe restructure brought onto the parallel
+// kernel — end to end at P=32, sequential and on 1/2/4/8 worker
+// shards (`make perf-shards`). Like BenchmarkShardedExperiment, the
+// sharded entries only show speedup with real cores; on a single-CPU
+// box they measure the coordination overhead the restructure adds to
+// each family's deferred-op replay traffic.
+func BenchmarkShardedExperimentFamilies(b *testing.B) {
+	for _, proto := range []string{"sci", "sll", "stp", "T4"} {
+		run := func(b *testing.B, shards int) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := RunExperiment(Experiment{App: "fft", Protocol: proto, Procs: 32, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if shards > 0 && r.ShardPlan.Fallback() {
+					b.Fatalf("fell back to sequential: %s", r.ShardPlan.ReasonToken)
+				}
+				if r.Cycles == 0 {
+					b.Fatal("zero-cycle run")
+				}
+			}
+		}
+		b.Run(proto+"/sequential", func(b *testing.B) { run(b, 0) })
+		for _, s := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", proto, s), func(b *testing.B) { run(b, s) })
+		}
+	}
+}
+
 // BenchmarkShardedExperimentObs times the P=64 full-map experiment on
 // 4 shards with event observability off, trace-only, and trace+attrib
 // (`make perf-shards`). The obs entries bound the per-event cost of

@@ -91,6 +91,17 @@ type Config struct {
 	// DrainBudget bounds the kernel events of one replayed path
 	// (0 = 1 << 20). Exhausting it is reported as a livelock violation.
 	DrainBudget uint64
+	// LaneAudit turns on the lane-partition abstraction: around every
+	// explored step the replayer additionally asserts that a node's
+	// cache-resident state changed only if that node's lane executed a
+	// sanctioned event during the step (a scheduled node event, a
+	// message delivery, or a global op). This is the sharded kernel's
+	// ownership contract made observable on the sequential machine —
+	// an engine that reaches across lanes inline behaves identically
+	// sequentially and only diverges under the parallel kernel, so no
+	// state invariant can catch it; the audit can. The dynamic
+	// counterpart of the laneguard static analyzer.
+	LaneAudit bool
 }
 
 func (c *Config) setDefaults() error {

@@ -1,0 +1,105 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"dircc/internal/cache"
+	"dircc/internal/coherent"
+	"dircc/internal/core"
+	"dircc/internal/protocol/list"
+)
+
+// eagerTree wraps Dir_iTree_k with the mutation the shard-safe
+// restructure forbids: replacement subtree invalidation applied
+// eagerly, inline on the evictor's lane, instead of via Replace_INV
+// messages (or deferred replay) executing on each victim's own lane.
+// Sequentially the reachable end states are a subset of the real
+// engine's — the teardown walk just completes instantly — so no state
+// invariant can tell the two apart; only the lane-partition audit can.
+type eagerTree struct{ *core.Engine }
+
+func (et eagerTree) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	if ln.State == cache.Valid {
+		b := ln.Block
+		// BUG: inline cross-lane walk over the victim's subtree.
+		var kill func(c coherent.NodeID)
+		kill = func(c coherent.NodeID) {
+			cl := m.Nodes[c].Cache.Lookup(b)
+			if cl == nil || cl.State == cache.Invalid {
+				return
+			}
+			kids := et.Engine.CoverageEdges(m, b, c)
+			m.Invalidate(c, b)
+			for _, k := range kids {
+				kill(k)
+			}
+		}
+		for _, c := range et.Engine.CoverageEdges(m, b, n) {
+			kill(c)
+		}
+		return
+	}
+	et.Engine.OnEvict(m, n, ln)
+}
+
+// TestLaneMutantCaught is the lane-partition abstraction's self-test,
+// mirroring TestMutationCaught: the real chain/tree engines explore
+// clean with the audit enabled (the sanctioned seams — messages,
+// deferred ops on the target's lane — never trip it), while a
+// Dir_iTree_k that reaches across lanes inline is caught with a
+// readable witness, even though its sequential behavior is
+// indistinguishable from the real engine's.
+func TestLaneMutantCaught(t *testing.T) {
+	good := Config{
+		Name:      "tree1x2-p3-lane-good",
+		NewEngine: func() coherent.Engine { return core.New(1, 2) },
+		Procs:     3, Blocks: 1,
+		Program:   progOrphan(),
+		LaneAudit: true,
+	}
+	if _, v, err := Run(good); err != nil {
+		t.Fatalf("baseline exploration failed: %v", err)
+	} else if v != nil {
+		t.Fatalf("baseline tree engine trips the lane audit:\n%s", v)
+	}
+
+	// The SLL chain engine's teardown walk is the deferred-op seam the
+	// restructure introduced; the audit must see it as sanctioned.
+	sll := Config{
+		Name:      "sll-p3-lane-good",
+		NewEngine: func() coherent.Engine { return list.NewSLL() },
+		Procs:     3, Blocks: 1,
+		Program:   progOrphan(),
+		LaneAudit: true,
+	}
+	if _, v, err := Run(sll); err != nil {
+		t.Fatalf("sll exploration failed: %v", err)
+	} else if v != nil {
+		t.Fatalf("sll engine trips the lane audit:\n%s", v)
+	}
+
+	bad := good
+	bad.Name = "tree1x2-p3-lane-mutant"
+	bad.NewEngine = func() coherent.Engine { return eagerTree{core.New(1, 2)} }
+	_, v, err := Run(bad)
+	if err != nil {
+		t.Fatalf("mutant exploration failed: %v", err)
+	}
+	if v == nil {
+		t.Fatal("eager wrong-lane mutant not caught: inline subtree invalidation went unnoticed")
+	}
+	if !strings.Contains(v.Err, "lane-partition") {
+		t.Errorf("expected a lane-partition violation, got: %s", v.Err)
+	}
+	var sawReplace bool
+	for _, s := range v.Steps {
+		if strings.Contains(s, "replace") {
+			sawReplace = true
+		}
+	}
+	if !sawReplace {
+		t.Errorf("witness does not show the replacement:\n%s", v)
+	}
+	t.Logf("lane mutant caught:\n%s", v)
+}

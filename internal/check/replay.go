@@ -3,7 +3,9 @@ package check
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"dircc/internal/cache"
 	"dircc/internal/coherent"
 	"dircc/internal/sim"
 )
@@ -39,6 +41,9 @@ func newReplayer(cfg *Config) (*replayer, error) {
 	m.SetSendHook(func(msg *coherent.Msg, deliver func()) {
 		r.pool = append(r.pool, pendingMsg{msg: msg, deliver: deliver})
 	})
+	if cfg.LaneAudit {
+		m.EnableLaneAudit()
+	}
 	return r, nil
 }
 
@@ -90,6 +95,11 @@ func (r *replayer) applyChecked(c choice) (verr error) {
 			verr = fmt.Errorf("panic: %v", p)
 		}
 	}()
+	var before []string
+	if r.cfg.LaneAudit {
+		before = r.laneSnapshot()
+		r.m.LaneAuditReset()
+	}
 	if c.issue >= 0 {
 		n := coherent.NodeID(c.issue)
 		op := r.cfg.Program[c.issue][r.cursors[c.issue]]
@@ -117,5 +127,35 @@ func (r *replayer) applyChecked(c choice) (verr error) {
 		}
 		return err
 	}
+	if r.cfg.LaneAudit {
+		after := r.laneSnapshot()
+		for n := range after {
+			if after[n] != before[n] && !r.m.LaneAuditRan(coherent.NodeID(n)) {
+				return fmt.Errorf("lane-partition: node %d's state changed with no event on its lane (%q -> %q)",
+					n, before[n], after[n])
+			}
+		}
+	}
 	return nil
+}
+
+// laneSnapshot renders each node's cache-resident state for the
+// program's blocks — the state the lane-partition audit guards. Only
+// state a foreign lane could corrupt matters here: line states, values
+// and protocol metadata; LRU order is excluded (it is touched only by
+// the owner's processor-side entry points).
+func (r *replayer) laneSnapshot() []string {
+	out := make([]string, len(r.m.Nodes))
+	for n := range r.m.Nodes {
+		var sb strings.Builder
+		for b := 0; b < r.cfg.Blocks; b++ {
+			ln := r.m.Nodes[n].Cache.Lookup(coherent.BlockID(b))
+			if ln == nil || ln.State == cache.Invalid {
+				continue
+			}
+			fmt.Fprintf(&sb, "b%d %v %d %v;", b, ln.State, ln.Val, ln.Meta)
+		}
+		out[n] = sb.String()
+	}
+	return out
 }

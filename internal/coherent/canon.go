@@ -51,10 +51,10 @@ type ShapeChecker interface {
 // Canon renders msg deterministically, covering every field that can
 // influence delivery behavior (probe bookkeeping excluded).
 func (msg *Msg) Canon() string {
-	return fmt.Sprintf("%s %d>%d b%d r%d a%d p%v hd%v d%d w%v at%d ad%v sb%v sw%v td%v g%v rh%v",
+	return fmt.Sprintf("%s %d>%d b%d r%d a%d p%v hd%v d%d w%v at%d ad%v sb%v sw%v td%v g%v rh%v sq%d",
 		msg.Type, msg.Src, msg.Dst, msg.Block, msg.Requester, msg.Aux, msg.Ptrs,
 		msg.HasData, msg.Data, msg.Write, msg.AckTo, msg.AckDir, msg.SibAck,
-		msg.SelfWave, msg.ToDir, msg.Gated, msg.RelHome)
+		msg.SelfWave, msg.ToDir, msg.Gated, msg.RelHome, msg.Seq)
 }
 
 // CanonState writes a canonical rendering of the machine: cache

@@ -1,0 +1,56 @@
+package coherent
+
+// Lane-partition audit: the model checker's dynamic counterpart to the
+// static laneguard analyzer (cmd/dirccvet). The sharded kernel's
+// contract says a handler may mutate only state owned by the lane it
+// executes on, reaching foreign lanes exclusively through sanctioned
+// seams — messages, ScheduleAt/DeferAt onto the target's lane, or a
+// GlobalOpAt replayed in the deterministic global order. On a
+// sequential machine those seams are ordinary events, so a wrong-lane
+// mutation is behaviorally invisible: the sequential kernel happily
+// executes it, and only the parallel kernel would diverge. The audit
+// makes the contract observable sequentially: the machine records, per
+// drain, which nodes' lanes legitimately executed, and the checker
+// (internal/check, Config.LaneAudit) verifies that a node's
+// cache-resident state only changed when its own lane ran.
+
+// EnableLaneAudit turns on lane-execution recording. Sequential
+// machines only — the sharded kernel enforces the partition physically
+// and the audit's bookkeeping would itself be cross-lane state there.
+func (m *Machine) EnableLaneAudit() {
+	if m.shard != nil {
+		panic("coherent: lane audit requires the sequential kernel")
+	}
+	m.laneAudit = make(map[NodeID]bool)
+}
+
+// LaneAuditReset clears the recorded lane set. The checker calls it
+// before each explored step so the audit window matches one
+// choice-plus-drain.
+func (m *Machine) LaneAuditReset() {
+	clear(m.laneAudit)
+	m.allAudit = false
+}
+
+// LaneAuditRan reports whether node n's lane executed a sanctioned
+// event since the last reset (or a global event ran, which may touch
+// any lane).
+func (m *Machine) LaneAuditRan(n NodeID) bool {
+	return m.allAudit || m.laneAudit[n]
+}
+
+// auditLane records that node n's lane is executing. Called on the
+// sanctioned execution seams (ScheduleAt closures, message dispatch,
+// processor-side entry points); no-op unless the audit is enabled.
+func (m *Machine) auditLane(n NodeID) {
+	if m.laneAudit != nil {
+		m.laneAudit[n] = true
+	}
+}
+
+// auditGlobal records that a global event is executing.
+func (m *Machine) auditGlobal() {
+	if m.laneAudit != nil {
+		m.allAudit = true
+	}
+}

@@ -214,6 +214,15 @@ type Machine struct {
 	// (internal/check) uses this to own the set of in-flight messages
 	// and explore every delivery order.
 	sendHook func(msg *Msg, deliver func())
+
+	// laneAudit, when non-nil, records which nodes' lanes executed a
+	// sanctioned event since the last LaneAuditReset — the model
+	// checker's dynamic lane-partition abstraction (see EnableLaneAudit).
+	// Sequential machines only.
+	laneAudit map[NodeID]bool
+	// allAudit marks that a global event (GlobalOpAt, ScheduleGlobal)
+	// ran since the last reset; global events may touch any lane's state.
+	allAudit bool
 }
 
 // txnSlots bounds concurrently outstanding transactions per node: one
@@ -293,9 +302,12 @@ func NewShardedMachineOn(cfg Config, proto Engine, topo topology.Topology, shard
 // affinity: every handler touches only the dispatched node's caches
 // and lines, its home's directory/gate state, and cross-node state
 // reachable through the machine's synchronized surfaces (Txn slots,
-// the Store, counters via CtrAt). Engines that splice peer nodes'
-// per-line metadata directly (the list and tree families) must not
-// implement it.
+// the Store, counters via CtrAt). Mutations of state owned by a
+// foreign node — the chain splices and teardown walks of the list and
+// tree families — must route through DeferAt (or an explicit
+// ownership-handoff message), which replays them on the owning lane
+// in the deterministic global order. All eight engine families in
+// this repository implement the contract; laneguard certifies it.
 type ShardSafe interface {
 	// ShardSafeEngine returns true when the engine may run under
 	// sim.Sharded. It exists (rather than a bare marker) so wrapper
@@ -419,6 +431,10 @@ func (m *Machine) ScheduleAt(n NodeID, delay sim.Time, fn func()) {
 		m.shard.ScheduleNode(int(n), delay, fn)
 		return
 	}
+	if m.laneAudit != nil {
+		inner := fn
+		fn = func() { m.laneAudit[n] = true; inner() }
+	}
 	m.Eng.Schedule(delay, fn)
 }
 
@@ -430,6 +446,10 @@ func (m *Machine) ScheduleGlobal(delay sim.Time, fn func()) {
 	if m.shard != nil {
 		m.shard.ScheduleGlobal(delay, fn)
 		return
+	}
+	if m.laneAudit != nil {
+		inner := fn
+		fn = func() { m.auditGlobal(); inner() }
 	}
 	m.Eng.Schedule(delay, fn)
 }
@@ -444,7 +464,36 @@ func (m *Machine) GlobalOpAt(n NodeID, fn func()) {
 		m.shard.GlobalOp(int(n), fn)
 		return
 	}
+	m.auditGlobal()
 	fn()
+}
+
+// DeferAt schedules fn at the current instant on node target's lane,
+// issued by the event currently executing at node issuer. It is the
+// chain-surgery seam: an engine handler that must mutate state owned
+// by a foreign node (splice a chain link, continue a teardown walk,
+// patch a neighbour's line metadata) wraps the mutation in DeferAt
+// instead of reaching across lanes.
+//
+// On a sequential machine it is ScheduleAt(target, 0, fn): the event's
+// sequence number is allocated inline, at the issuing event's position
+// in execution order. On a sharded machine the schedule itself is
+// deferred through the kernel's global-op log and replayed at the
+// issuing event's merge position — where ScheduleNode allocates the
+// SAME sequence number the sequential engine would have. fn therefore
+// fires at the same instant, in the same order, on target's own lane,
+// under every shard count. Ops deferred by sequentially-ordered events
+// onto the same target replay in issue order, so cause→effect chains
+// (a completion's bookkeeping before a later eviction's scan) are
+// preserved.
+func (m *Machine) DeferAt(issuer, target NodeID, fn func()) {
+	if m.shard != nil && m.shard.InPhase() {
+		m.shard.GlobalOp(int(issuer), func() {
+			m.shard.ScheduleNode(int(target), 0, fn)
+		})
+		return
+	}
+	m.ScheduleAt(target, 0, fn)
 }
 
 // CtrAt returns the counter sink for an event executing at node n: the
@@ -951,6 +1000,7 @@ func (m *Machine) Outstanding(n NodeID) int {
 // one reference per node may be outstanding; a second concurrent
 // Access panics, because it indicates a broken processor model.
 func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done func(uint64)) {
+	m.auditLane(n)
 	b := m.BlockOf(addr)
 	if m.Txn(n, b) != nil {
 		panic(fmt.Sprintf("coherent: node %d issued a second outstanding reference on block %d", n, b))
@@ -1047,6 +1097,7 @@ func (m *Machine) Access(n NodeID, addr uint64, write bool, value uint64, done f
 // exclusive owner racing a third party's in-flight RMW is a program
 // data race (use FetchAdd/locks for such words).
 func (m *Machine) AccessRMW(n NodeID, addr uint64, f func(old uint64) uint64, done func(old uint64)) {
+	m.auditLane(n)
 	if f == nil {
 		panic("coherent: AccessRMW with nil function")
 	}
@@ -1192,6 +1243,7 @@ func (m *Machine) SetSendHook(fn func(msg *Msg, deliver func())) { m.sendHook = 
 // checker uses it to exercise replacement races without having to
 // construct a conflicting address pattern.
 func (m *Machine) ReplaceBlock(n NodeID, b BlockID) bool {
+	m.auditLane(n)
 	ln := m.Nodes[n].Cache.Lookup(b)
 	if ln == nil || ln.State == cache.Invalid || ln.Pinned {
 		return false
@@ -1203,6 +1255,7 @@ func (m *Machine) ReplaceBlock(n NodeID, b BlockID) bool {
 }
 
 func (m *Machine) dispatch(msg *Msg) {
+	m.auditLane(msg.Dst)
 	if m.Probe != nil {
 		m.Probe.MsgDeliver(uint64(m.Now()), msg.probeID, msg.Type.String(),
 			int(msg.Src), int(msg.Dst), uint64(msg.Block), msg.ToDir)

@@ -123,6 +123,12 @@ type Msg struct {
 	// Gated routes a directory-bound message through the per-block
 	// home gate (request serialization).
 	Gated bool
+	// Seq is the directory serialization stamp of the request this
+	// message serves: homes that keep a per-block request counter stamp
+	// forwards and replies with it, and caches compare stamps to tell
+	// which incarnation of a replaced line a late forward was aimed at.
+	// Bookkeeping only (like Data): it does not add to the wire size.
+	Seq uint64
 	// RelHome releases the block's home gate at the instant this
 	// message is delivered (the write-grant reply: the gate is held
 	// until the writer confirms installation). The machine performs the

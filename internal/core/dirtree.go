@@ -34,6 +34,7 @@ import (
 
 	"dircc/internal/cache"
 	"dircc/internal/coherent"
+	"dircc/internal/stats"
 )
 
 type dirState uint8
@@ -96,29 +97,52 @@ type agg struct {
 	// onto the aggregated ack for latency attribution (not on the wire:
 	// Msg.Bytes ignores Requester).
 	req coherent.NodeID
+	// extra holds additional acknowledgment obligations folded into this
+	// aggregation: when the home's SibAck-bearing root Inv lands on an
+	// aggregation another in-edge of the same wave already armed, its
+	// destination waits here until the whole aggregation drains (see
+	// onInv).
+	extra []ackDest
 }
 
-// Engine implements Dir_iTree_k for one machine.
+// ackDest is one folded acknowledgment obligation: where the aggregated
+// ack must go and on whose behalf.
+type ackDest struct {
+	to    coherent.NodeID
+	toDir bool
+	req   coherent.NodeID
+}
+
+// Engine implements Dir_iTree_k for one machine. All mutable state is
+// lane-partitioned for the sharded kernel: directory entries live in
+// the machine's per-home dir storage (bound at Prepare), and the
+// per-cache aggregation/victim-buffer records are slices indexed by
+// the owning node, so every handler touches only its own slot.
 type Engine struct {
-	ptrs    int // i
-	arity   int // k
-	opts    Options
-	entries map[coherent.BlockID]*entry
-	aggs    map[aggKey]*agg
-	// tombs retains the child pointers of lines that died without
-	// acknowledged coverage (replacement, Replace_INV) — a small victim
-	// buffer. An ack-bearing Inv reaching such a dead node routes down
-	// the tombstone so a write wave racing an in-flight teardown still
-	// covers (and waits for) every copy below; per-pair FIFO delivery
-	// guarantees the teardown precedes the wave on each edge. This
-	// closes a sequential-consistency hole the paper's silent
-	// replacement scheme leaves open (see DESIGN.md §4.2).
-	tombs map[aggKey][]coherent.NodeID
+	ptrs  int // i
+	arity int // k
+	opts  Options
+	// m is the bound machine (coherent.Preparer); directory entries
+	// are reached through m.Dir/m.SetDir so they are home-resident.
+	m *coherent.Machine
+	// aggs[n] tracks node n's bottom-up ack aggregations, keyed by
+	// block. Only node n's lane reads or writes aggs[n].
+	aggs []map[coherent.BlockID]*agg
+	// tombs[n] retains the child pointers of node n's lines that died
+	// without acknowledged coverage (replacement, Replace_INV) — a
+	// small victim buffer. An ack-bearing Inv reaching such a dead node
+	// routes down the tombstone so a write wave racing an in-flight
+	// teardown still covers (and waits for) every copy below; per-pair
+	// FIFO delivery guarantees the teardown precedes the wave on each
+	// edge. This closes a sequential-consistency hole the paper's
+	// silent replacement scheme leaves open (see DESIGN.md §4.2).
+	tombs []map[coherent.BlockID][]coherent.NodeID
 	// torn is verification-only ghost state: blocks that have ever had
-	// a replacement teardown, where dangling child pointers make strict
-	// acyclicity inapplicable (see CheckShape). It never influences
-	// protocol behavior.
-	torn map[coherent.BlockID]bool
+	// a replacement teardown at node n, where dangling child pointers
+	// make strict acyclicity inapplicable (see CheckShape, which reads
+	// the union over nodes at quiesce). It never influences protocol
+	// behavior.
+	torn []map[coherent.BlockID]bool
 }
 
 // Options tune protocol variants for ablation studies and extensions.
@@ -156,15 +180,29 @@ func New(i, k int) *Engine {
 	if k < 1 {
 		panic(fmt.Sprintf("core: tree arity must be >= 1, got %d", k))
 	}
-	return &Engine{
-		ptrs:    i,
-		arity:   k,
-		entries: make(map[coherent.BlockID]*entry),
-		aggs:    make(map[aggKey]*agg),
-		tombs:   make(map[aggKey][]coherent.NodeID),
-		torn:    make(map[coherent.BlockID]bool),
+	return &Engine{ptrs: i, arity: k}
+}
+
+// Prepare implements coherent.Preparer: directory entries live in the
+// machine's per-home dir storage and the per-cache records in slices
+// indexed by node, which is what makes the engine's state lane-local
+// under the sharded kernel.
+func (e *Engine) Prepare(m *coherent.Machine) {
+	e.m = m
+	e.aggs = make([]map[coherent.BlockID]*agg, m.Cfg.Procs)
+	e.tombs = make([]map[coherent.BlockID][]coherent.NodeID, m.Cfg.Procs)
+	e.torn = make([]map[coherent.BlockID]bool, m.Cfg.Procs)
+	for i := 0; i < m.Cfg.Procs; i++ {
+		e.aggs[i] = make(map[coherent.BlockID]*agg)
+		e.tombs[i] = make(map[coherent.BlockID][]coherent.NodeID)
+		e.torn[i] = make(map[coherent.BlockID]bool)
 	}
 }
+
+// ShardSafeEngine implements coherent.ShardSafe: every handler stays
+// on its own lane — directory work at the home, per-cache work at the
+// dispatched node, and nothing else (laneguard certifies this).
+func (e *Engine) ShardSafeEngine() bool { return true }
 
 // Name implements coherent.Engine ("Dir4Tree2", ...).
 func (e *Engine) Name() string {
@@ -184,10 +222,10 @@ func (e *Engine) Pointers() int { return e.ptrs }
 func (e *Engine) Arity() int { return e.arity }
 
 func (e *Engine) entry(b coherent.BlockID) *entry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		en = &entry{owner: coherent.NoNode}
-		e.entries[b] = en
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -255,7 +293,7 @@ func (e *Engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 // serves the data, piggybacking any adopted roots as Ptrs.
 func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	req := msg.Requester
-	handoff := e.record(m, en, req)
+	handoff := e.record(m.CtrAt(m.Home(msg.Block)), en, req)
 	if en.state == uncached {
 		en.state = shared
 	}
@@ -279,10 +317,11 @@ func (e *Engine) admitRead(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 }
 
 // record applies the paper's Figure 6 pointer algorithm for a new
-// sharer and returns the roots the sharer must adopt as children. A nil
-// machine is allowed (analytical use in tests): only counters depend on
+// sharer and returns the roots the sharer must adopt as children. ctr
+// is the caller's lane-local counter sink (m.CtrAt at the home); a nil
+// sink is allowed (analytical use in tests) — only counters depend on
 // it.
-func (e *Engine) record(m *coherent.Machine, en *entry, req coherent.NodeID) []coherent.NodeID {
+func (e *Engine) record(ctr *stats.Counters, en *entry, req coherent.NodeID) []coherent.NodeID {
 	var handoff []coherent.NodeID
 	switch {
 	case en.slotOf(req) >= 0:
@@ -296,8 +335,8 @@ func (e *Engine) record(m *coherent.Machine, en *entry, req coherent.NodeID) []c
 		if li := e.equalPair(en); li >= 0 {
 			// Case 3: the requester adopts up to k equal-height trees;
 			// one slot is re-pointed one level up, the others free.
-			if m != nil {
-				m.Ctr.TreeMerges++
+			if ctr != nil {
+				ctr.TreeMerges++
 			}
 			lvl := en.slots[li].level
 			kept := make([]slot, 0, len(en.slots))
@@ -312,8 +351,8 @@ func (e *Engine) record(m *coherent.Machine, en *entry, req coherent.NodeID) []c
 			en.slots = kept
 		} else {
 			// Case 4: adopt the single lowest tree.
-			if m != nil {
-				m.Ctr.TreeAdoptions++
+			if ctr != nil {
+				ctr.TreeAdoptions++
 			}
 			low := 0
 			for i, s := range en.slots {
@@ -398,7 +437,7 @@ func (e *Engine) startInvalidation(m *coherent.Machine, en *entry, msg *coherent
 			inv.AckTo = roots[ackTo[idx]].node
 			inv.AckDir = false
 		}
-		m.Ctr.Invalidations++
+		m.CtrAt(home).Invalidations++
 		m.Send(inv)
 	}
 	if pend.acksLeft == 0 {
@@ -417,7 +456,7 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 		// recorded like a new reader.
 		en.state = shared
 		if !msg.Write {
-			handoff = e.record(m, en, msg.Requester)
+			handoff = e.record(m.CtrAt(m.Home(b)), en, msg.Requester)
 		}
 	} else {
 		en.state = dirty
@@ -432,10 +471,13 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 		}
 	}
 	m.ReadMem(b, func() {
+		// RelHome: the write commit and home-gate release ride a
+		// companion event at the delivery instant on the home's own
+		// lane, in place of the receiver's handler doing them inline.
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
-			Ptrs: handoff, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Ptrs: handoff, Aux: coherent.NoNode, AckTo: coherent.NoNode, RelHome: true,
 		})
 	})
 }
@@ -445,7 +487,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(msg.Block)
 	switch msg.Type {
 	case coherent.MsgInvAck:
-		m.Ctr.InvAcks++
+		m.CtrAt(msg.Dst).InvAcks++
 		p := en.pend
 		if p == nil || p.stage != stageInv || p.acksLeft <= 0 {
 			panic("core: unexpected InvAck at home")
@@ -455,7 +497,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			e.grantWrite(m, en, p.req)
 		}
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		if en.owner == msg.Src {
 			en.owner = coherent.NoNode
@@ -522,20 +564,21 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		} else {
 			m.CompleteTxn(txn, cache.Exclusive, txn.Value, &treeMeta{})
 		}
-		m.ReleaseHome(msg.Block)
+		// The home gate is released by the RelHome companion event on
+		// the home's own lane (see grantWrite).
 	case coherent.MsgInv, coherent.MsgUpdate:
 		e.onInv(m, node, msg)
 	case coherent.MsgInvAck:
 		e.onCacheAck(m, n, msg)
 	case coherent.MsgReplaceInv:
-		e.torn[msg.Block] = true
+		e.torn[n][msg.Block] = true
 		ln := node.Cache.Lookup(msg.Block)
 		if ln == nil || ln.State == cache.Invalid {
 			return // dangling edge; subtree already gone
 		}
 		children := childrenOf(ln)
 		m.Invalidate(n, msg.Block)
-		e.mergeTombs(aggKey{n, msg.Block}, children)
+		e.mergeTombs(n, msg.Block, children)
 		e.sendReplaceInv(m, n, msg.Block, children)
 	case coherent.MsgWbReq:
 		ln := node.Cache.Lookup(msg.Block)
@@ -572,9 +615,22 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 		txn.Deferred = append(txn.Deferred, msg)
 		return
 	}
-	key := aggKey{n: n, b: msg.Block}
-	a := e.aggs[key]
+	b := msg.Block
+	a := e.aggs[n][b]
 	if a != nil && a.armed {
+		if msg.SibAck {
+			// The home's root Inv landed on an aggregation another
+			// in-edge of the same wave already armed. Its odd sibling's
+			// ack is routed here and cannot be told apart from a child
+			// ack, so an independent ack would both fire the home's ack
+			// before the sibling reported and leave the sibling's ack
+			// banked as a stray that poisons the next wave. Fold the
+			// obligation in: expect one more ack, and acknowledge this
+			// destination too when the aggregation drains.
+			a.extra = append(a.extra, ackDest{to: msg.AckTo, toDir: msg.AckDir, req: msg.Requester})
+			a.left++
+			return
+		}
 		// A second Inv in the same wave (dangling edge): acknowledge it
 		// independently without disturbing the aggregation.
 		e.sendAck(m, n, msg)
@@ -582,7 +638,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 	}
 	if a == nil {
 		a = &agg{}
-		e.aggs[key] = a
+		e.aggs[n][b] = a
 	}
 	a.armed = true
 	a.to = msg.AckTo
@@ -601,7 +657,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 			m.Invalidate(n, msg.Block)
 		}
 	}
-	if t, ok := e.tombs[key]; ok {
+	if t, ok := e.tombs[n][b]; ok {
 		// A teardown from this node's previous tenure may still be in
 		// flight below: route the wave down the victim-buffer pointers
 		// too, so it covers (and waits for) every copy the Replace_INV
@@ -622,45 +678,50 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 			// Update waves must keep routing through the victim buffer
 			// on every write: torn-down positions stay reachable from
 			// the persistent sharing trees.
-			delete(e.tombs, key)
+			delete(e.tombs[n], b)
 		}
 	}
 	for _, c := range fanout {
 		a.left++
-		m.Ctr.Invalidations++
+		m.CtrAt(n).Invalidations++
 		m.Send(&coherent.Msg{
 			Type: msg.Type, Src: n, Dst: c, Block: msg.Block,
 			Requester: msg.Requester, HasData: update, Data: msg.Data,
 			AckTo: n, Aux: coherent.NoNode,
 		})
 	}
-	e.maybeFinishAgg(m, key, a)
+	e.maybeFinishAgg(m, aggKey{n: n, b: b}, a)
 }
 
 // onCacheAck handles a child's or sibling's acknowledgment arriving at
 // an aggregating cache. It may precede the node's own Inv (sibling acks
 // travel a different path), in which case it is banked.
 func (e *Engine) onCacheAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
-	m.Ctr.InvAcks++
-	key := aggKey{n: n, b: msg.Block}
-	a := e.aggs[key]
+	m.CtrAt(n).InvAcks++
+	a := e.aggs[n][msg.Block]
 	if a == nil {
 		a = &agg{}
-		e.aggs[key] = a
+		e.aggs[n][msg.Block] = a
 	}
 	a.left--
-	e.maybeFinishAgg(m, key, a)
+	e.maybeFinishAgg(m, aggKey{n: n, b: msg.Block}, a)
 }
 
 func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
 	if !a.armed || a.left != 0 {
 		return
 	}
-	delete(e.aggs, key)
+	delete(e.aggs[key.n], key.b)
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: key.n, Dst: a.to, Block: key.b,
 		Requester: a.req, ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 	})
+	for _, d := range a.extra {
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgInvAck, Src: key.n, Dst: d.to, Block: key.b,
+			Requester: d.req, ToDir: d.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
 }
 
 // sendAck acknowledges msg immediately (dangling-edge case).
@@ -671,13 +732,14 @@ func (e *Engine) sendAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.M
 	})
 }
 
-// mergeTombs unions children into the victim buffer for key; pointers
-// from different cache tenures may both have teardowns in flight.
-func (e *Engine) mergeTombs(key aggKey, children []coherent.NodeID) {
+// mergeTombs unions children into node n's victim buffer for block b;
+// pointers from different cache tenures may both have teardowns in
+// flight.
+func (e *Engine) mergeTombs(n coherent.NodeID, b coherent.BlockID, children []coherent.NodeID) {
 	if len(children) == 0 {
 		return
 	}
-	cur := e.tombs[key]
+	cur := e.tombs[n][b]
 	for _, c := range children {
 		dup := false
 		for _, t := range cur {
@@ -690,7 +752,7 @@ func (e *Engine) mergeTombs(key aggKey, children []coherent.NodeID) {
 			cur = append(cur, c)
 		}
 	}
-	e.tombs[key] = cur
+	e.tombs[n][b] = cur
 }
 
 func childrenOf(ln *cache.Line) []coherent.NodeID {
@@ -702,7 +764,7 @@ func childrenOf(ln *cache.Line) []coherent.NodeID {
 
 func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, children []coherent.NodeID) {
 	for _, c := range children {
-		m.Ctr.ReplaceInvs++
+		m.CtrAt(n).ReplaceInvs++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgReplaceInv, Src: n, Dst: c, Block: b,
 			Aux: coherent.NoNode, AckTo: coherent.NoNode,
@@ -717,8 +779,8 @@ func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b cohere
 func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	switch ln.State {
 	case cache.Valid:
-		e.torn[ln.Block] = true
-		e.mergeTombs(aggKey{n, ln.Block}, childrenOf(ln))
+		e.torn[n][ln.Block] = true
+		e.mergeTombs(n, ln.Block, childrenOf(ln))
 		e.sendReplaceInv(m, n, ln.Block, childrenOf(ln))
 	case cache.Exclusive:
 		m.Send(&coherent.Msg{
@@ -732,7 +794,10 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 // directory state, tree roots with heights, and any pending home
 // transaction with its remaining ack count.
 func (e *Engine) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	var en *entry
+	if e.m != nil {
+		en, _ = e.m.Dir(b).(*entry)
+	}
 	if en == nil {
 		return "uncached (no entry)"
 	}

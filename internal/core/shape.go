@@ -108,7 +108,7 @@ func CheckForestShape(roots []coherent.NodeID, maxRoots, arity int, strict bool,
 // is enforced strictly until the first teardown touches the block (see
 // CheckForestShape).
 func (e *Engine) CheckShape(m *coherent.Machine, b coherent.BlockID) error {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}
@@ -119,7 +119,16 @@ func (e *Engine) CheckShape(m *coherent.Machine, b coherent.BlockID) error {
 		}
 		roots = append(roots, s.node)
 	}
-	return CheckForestShape(roots, e.ptrs, e.arity, !e.torn[b], func(n coherent.NodeID) []coherent.NodeID {
+	// torn is per-node ghost state written on the tearing node's lane;
+	// this quiesced check reads the union.
+	torn := false
+	for _, tm := range e.torn {
+		if tm[b] {
+			torn = true
+			break
+		}
+	}
+	return CheckForestShape(roots, e.ptrs, e.arity, !torn, func(n coherent.NodeID) []coherent.NodeID {
 		ln := m.Nodes[n].Cache.Lookup(b)
 		if ln == nil || ln.State == cache.Invalid {
 			return nil

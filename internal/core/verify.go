@@ -31,13 +31,11 @@ func (meta *treeMeta) String() string { return fmt.Sprintf("ch%v", meta.children
 // relaxes a check, and any state reachable with a cycle has torn set
 // on every path that reaches it.
 func (e *Engine) CanonState(w io.Writer) {
-	blocks := make([]coherent.BlockID, 0, len(e.entries))
-	for b := range e.entries {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for _, b := range blocks {
-		en := e.entries[b]
+	for _, b := range e.m.DirBlocks() {
+		en, _ := e.m.Dir(b).(*entry)
+		if en == nil {
+			continue
+		}
 		if en.state == uncached && len(en.slots) == 0 && en.owner == coherent.NoNode && en.pend == nil {
 			continue
 		}
@@ -48,18 +46,22 @@ func (e *Engine) CanonState(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	for _, k := range sortedAggKeys(e.aggs) {
-		a := e.aggs[k]
-		fmt.Fprintf(w, "agg n%d b%d armed%v left%d to%d dir%v\n", k.n, k.b, a.armed, a.left, a.to, a.toDir)
+		a := e.aggs[k.n][k.b]
+		fmt.Fprintf(w, "agg n%d b%d armed%v left%d to%d dir%v", k.n, k.b, a.armed, a.left, a.to, a.toDir)
+		for _, d := range a.extra {
+			fmt.Fprintf(w, " +to%d dir%v", d.to, d.toDir)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, k := range sortedTombKeys(e.tombs) {
-		fmt.Fprintf(w, "tomb n%d b%d -> %v\n", k.n, k.b, e.tombs[k])
+		fmt.Fprintf(w, "tomb n%d b%d -> %v\n", k.n, k.b, e.tombs[k.n][k.b])
 	}
 }
 
 // CoverageRoots implements coherent.CoverageEnumerator: the directory
 // knows the roots of the sharing trees plus the exclusive owner.
 func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}
@@ -90,23 +92,27 @@ func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n cohere
 	if ln := m.Nodes[n].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
 		out = append(out, childrenOf(ln)...)
 	}
-	out = append(out, e.tombs[aggKey{n, b}]...)
+	out = append(out, e.tombs[n][b]...)
 	return out
 }
 
-func sortedAggKeys(m map[aggKey]*agg) []aggKey {
-	out := make([]aggKey, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+func sortedAggKeys(perNode []map[coherent.BlockID]*agg) []aggKey {
+	var out []aggKey
+	for n, mm := range perNode {
+		for b := range mm {
+			out = append(out, aggKey{n: coherent.NodeID(n), b: b})
+		}
 	}
 	sortKeys(out)
 	return out
 }
 
-func sortedTombKeys(m map[aggKey][]coherent.NodeID) []aggKey {
-	out := make([]aggKey, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+func sortedTombKeys(perNode []map[coherent.BlockID][]coherent.NodeID) []aggKey {
+	var out []aggKey
+	for n, mm := range perNode {
+		for b := range mm {
+			out = append(out, aggKey{n: coherent.NodeID(n), b: b})
+		}
 	}
 	sortKeys(out)
 	return out

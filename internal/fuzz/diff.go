@@ -35,6 +35,20 @@ func AllEngines() []NamedEngine {
 	}
 }
 
+// ChainEngines returns the chain-surgery set: the oracle plus every
+// scheme whose sharing structure is a linked chain or tree — the ones
+// concurrent mid-chain eviction, re-attach and invalidation surgery
+// can structurally corrupt.
+func ChainEngines() []NamedEngine {
+	return []NamedEngine{
+		{"fm", func() coherent.Engine { return fullmap.New() }},
+		{"sci", func() coherent.Engine { return list.NewSCI() }},
+		{"sll", func() coherent.Engine { return list.NewSLL() }},
+		{"stp", func() coherent.Engine { return stp.New() }},
+		{"Dir4Tree2", func() coherent.Engine { return core.New(4, 2) }},
+	}
+}
+
 // TreeEngines returns the Dir_iTree_k-focused set: the oracle plus the
 // tree scheme across pointer counts and arities (the configurations
 // whose deep-tree behaviors live beyond the model checker's horizon).

@@ -19,8 +19,19 @@ type Generator struct {
 	New  func(seed uint64, procs int) *Workload
 }
 
-// Generators returns the catalog in canonical order.
+// Generators returns the catalog in canonical order: the frozen
+// seed catalog first, then the families with their own drivers.
 func Generators() []Generator {
+	return append(seedGenerators(), Generator{"chain-surgery", ChainSurgery})
+}
+
+// seedGenerators is the catalog ForSeed draws from. It is FROZEN: every
+// committed regression seed (corpus files, TestRegressionSeeds, the
+// model-checker grid provenance comments) decodes its generator as an
+// index into this slice, so appending here would silently remap them
+// all. New families get their own smoke loops and fuzz targets instead
+// (see chain-surgery).
+func seedGenerators() []Generator {
 	return []Generator{
 		{"hotspot", Hotspot},
 		{"migratory", Migratory},
@@ -62,8 +73,18 @@ func GeneratorNames() string {
 func ForSeed(seed uint64) *Workload {
 	rng := rngFor(seed, 0)
 	procs := []int{4, 4, 8, 8, 8, 16, 16, 32}[rng.Intn(8)]
-	gens := Generators()
+	gens := seedGenerators()
 	return gens[rng.Intn(len(gens))].New(seed, procs)
+}
+
+// ChainSurgeryForSeed derives a chain-surgery workload from a bare
+// seed, the family's analogue of ForSeed for its own smoke loop and
+// native fuzz target (the seed catalog is frozen, so the family cannot
+// join ForSeed).
+func ChainSurgeryForSeed(seed uint64) *Workload {
+	rng := rngFor(seed, 0)
+	procs := []int{4, 4, 8, 8, 8, 16}[rng.Intn(6)]
+	return ChainSurgery(seed, procs)
 }
 
 // rngFor builds the deterministic stream for (seed, stream).
@@ -247,6 +268,51 @@ func ReplacementStorm(seed uint64, procs int) *Workload {
 		for i := 0; i < writers; i++ {
 			b := coherent.BlockID(rng.Intn(blocks))
 			ph.Ops = append(ph.Ops, Op{Node: rng.Intn(procs), Kind: OpWrite, Block: b, Value: valueOf(seed, p, b)})
+		}
+		w.Phases = append(w.Phases, ph)
+	}
+	audit(w, rng)
+	return w
+}
+
+// ChainSurgery aims concurrent surgery at a single sharing list: the
+// whole machine attaches to one hot block through one-line caches,
+// then a band of nodes cuts itself out mid-chain — half by explicit
+// replacement, half by reading an alias block that evicts the hot line
+// — and immediately re-attaches, while writers fire invalidation waves
+// over the half-torn structure. Suffix teardown, forwards aimed at
+// dead incarnations, deferred re-attach installs and invalidation
+// walks all collide on the same chain; this is the pattern that kills
+// chain-splice and teardown-ordering mutants in the list schemes (and
+// the subtree analogue in the trees).
+func ChainSurgery(seed uint64, procs int) *Workload {
+	rng := rngFor(seed, 7)
+	blocks := 2 + rng.Intn(3)
+	w := &Workload{Name: "chain-surgery", Seed: seed, Procs: procs, Blocks: blocks, CacheLines: 1}
+	const hot = coherent.BlockID(0)
+	phases := 2 + rng.Intn(2)
+	for p := 0; p < phases; p++ {
+		var ph Phase
+		// Build the chain: every node attaches to the hot block.
+		for n := 0; n < procs; n++ {
+			ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: hot})
+		}
+		// Surgery: a band of nodes drops out mid-chain and re-attaches.
+		cut := 1 + rng.Intn(procs/2+1)
+		for i := 0; i < cut; i++ {
+			n := rng.Intn(procs)
+			if rng.Intn(2) == 0 {
+				ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpReplace, Block: hot})
+			} else {
+				alias := coherent.BlockID(1 + rng.Intn(blocks-1))
+				ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: alias})
+			}
+			ph.Ops = append(ph.Ops, Op{Node: n, Kind: OpRead, Block: hot})
+		}
+		// Writers tear the half-surgered list down while it re-forms.
+		writers := 1 + rng.Intn(2)
+		for i := 0; i < writers; i++ {
+			ph.Ops = append(ph.Ops, Op{Node: rng.Intn(procs), Kind: OpWrite, Block: hot, Value: valueOf(seed, p, hot)})
 		}
 		w.Phases = append(w.Phases, ph)
 	}

@@ -4,21 +4,29 @@ import (
 	"testing"
 
 	"dircc/internal/coherent"
+	"dircc/internal/core"
 	"dircc/internal/protocol/fullmap"
 	"dircc/internal/protocol/limited"
 	"dircc/internal/protocol/limitless"
+	"dircc/internal/protocol/list"
+	"dircc/internal/protocol/stp"
 )
 
 // shardSafeEngines is the differential set for the parallel kernel:
-// the engine families that declare lane-affine handlers (ShardSafe).
-// The list and tree schemes stay sequential-only — their handlers walk
-// chains across arbitrary nodes — and are excluded by construction.
+// every engine family declares lane-affine handlers (ShardSafe) since
+// the chain/tree restructure — chain splices, tombstone hops and
+// subtree invalidations now travel through the deferred-op façade, so
+// the list and tree schemes are part of the oracle too.
 func shardSafeEngines() []NamedEngine {
 	return []NamedEngine{
 		{"fm", func() coherent.Engine { return fullmap.New() }},
 		{"Dir2B", func() coherent.Engine { return limited.NewB(2) }},
 		{"Dir4NB", func() coherent.Engine { return limited.NewNB(4) }},
 		{"LimitLESS4", func() coherent.Engine { return limitless.New(4) }},
+		{"Dir4Tree2", func() coherent.Engine { return core.New(4, 2) }},
+		{"stp", func() coherent.Engine { return stp.New() }},
+		{"sci", func() coherent.Engine { return list.NewSCI() }},
+		{"sll", func() coherent.Engine { return list.NewSLL() }},
 	}
 }
 

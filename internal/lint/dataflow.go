@@ -66,6 +66,13 @@ func (v value) join(w value) value {
 		return w
 	case v.path == w.path:
 		return v
+	// Freshly constructed metadata (laneguard's "@fresh") is owned by
+	// whichever lane builds it: joining with a tracked line handle keeps
+	// the stricter provenance.
+	case v.path == "@fresh":
+		return w
+	case w.path == "@fresh":
+		return v
 	default:
 		return foreignVal("merged from multiple provenances")
 	}

@@ -7,7 +7,8 @@ package lint
 // for, and the synchronized surfaces of the Machine façade (Txn slots,
 // the Store, Send, CtrAt) — and nothing else, unless the access is
 // routed through a cross-lane-safe scheduling call (ScheduleAt on the
-// target node, ScheduleGlobal, GlobalOpAt).
+// target node, DeferAt from the entry lane to the target lane,
+// ScheduleGlobal, GlobalOpAt).
 //
 // The analysis tracks where node indices COME FROM (the dataflow lattice
 // in dataflow.go): the handler's own dispatch parameters stay canonical
@@ -20,11 +21,14 @@ package lint
 //	    lane-resident;
 //	R2  m.Invalidate(i, b) / m.ReplaceBlock(i, b) — i must be
 //	    lane-resident;
-//	R3  a chain-link store: writing a non-resident node index into a
-//	    NodeID field of a line-metadata type (the next/prev/children
-//	    pointers that another node will later read);
+//	R3  a chain-link store into a foreign line: mutating a NodeID field
+//	    of a line-metadata value whose line does not belong to this
+//	    handler's lane (message-carried indices stored into the
+//	    handler's OWN line are plain data — cross-lane readers go
+//	    through the home-resident accessors, not the line);
 //	R4  engine-global map fields on the engine receiver (shared across
-//	    lanes by construction);
+//	    lanes by construction), and per-lane engine slice fields
+//	    (e.tombs[i]) indexed by a non-resident node;
 //	R5  m.ReleaseHome(b) / m.SerializeWrite(msg) / m.Dir(b) /
 //	    m.SetDir(b, v) — the block must be home-resident in this
 //	    handler context;
@@ -162,7 +166,7 @@ var safeMachineMethods = map[string]bool{
 	// scheduling façade: argument closures are re-based to the target
 	// lane (handled in checkCall).
 	"ScheduleAt": true, "ScheduleGlobal": true, "GlobalOpAt": true,
-	"ReadMem": true,
+	"ReadMem": true, "DeferAt": true,
 }
 
 type laneFinding struct {
@@ -662,7 +666,7 @@ func canonWhy(path string) string {
 }
 
 func pathRoot(path string) string {
-	for _, pre := range []string{"home(", "nodeof(", "txn("} {
+	for _, pre := range []string{"home(", "nodeof(", "txn(", "lineof("} {
 		if strings.HasPrefix(path, pre) {
 			path = path[len(pre):]
 		}
@@ -696,6 +700,21 @@ func (fa *funcAnalysis) resident(kind laneReqKind, v value) bool {
 		return true // sentinel (NoNode) or untaken path
 	case vForeign:
 		return false
+	}
+	if kind == reqLane {
+		// Freshly constructed metadata belongs to this lane.
+		if v.path == "@fresh" {
+			return true
+		}
+		// A line handle (or metadata reached through one) is resident
+		// exactly when the node that owns the line is; a node handle
+		// (nodeof(i)) is resident exactly when i is.
+		if inner, ok := lineInner(v.path); ok {
+			return fa.resident(reqLane, canonVal(inner))
+		}
+		if inner, ok := cutWrap(v.path, "nodeof("); ok {
+			return fa.resident(reqLane, canonVal(inner))
+		}
 	}
 	set := fa.R
 	if kind == reqHome {
@@ -934,7 +953,14 @@ func (fa *funcAnalysis) canonOf(expr ast.Expr, e env) value {
 			return canonVal(base.path + ".(assert)")
 		}
 		return base
-	case *ast.CompositeLit, *ast.FuncLit:
+	case *ast.CompositeLit:
+		// Freshly constructed metadata belongs to the constructing lane
+		// until it is installed on a line.
+		if t := fa.la.typeOf(x); t != nil && fa.isMetaType(t) {
+			return canonVal("@fresh")
+		}
+		return foreignVal("composite value")
+	case *ast.FuncLit:
 		return foreignVal("composite value")
 	default:
 		return foreignVal("untracked expression")
@@ -1057,6 +1083,33 @@ func (fa *funcAnalysis) canonCall(call *ast.CallExpr, e env) value {
 			return v
 		}
 	}
+	// <node>.Cache.Lookup(b) yields a handle on that node's own line:
+	// track it as lineof(node) so metadata mutations can be tied back
+	// to the lane that owns the line.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lookup" && len(call.Args) == 1 {
+		bv := fa.canonOf(sel.X, e)
+		if bv.kind == vCanon && strings.HasSuffix(bv.path, ".Cache") {
+			inner := strings.TrimSuffix(bv.path, ".Cache")
+			if i2, ok := cutWrap(inner, "nodeof("); ok {
+				inner = i2
+			}
+			return canonVal("lineof(" + inner + ")")
+		}
+	}
+	// Package-local metadata helpers: a single-argument accessor
+	// (sciMetaOf(ln) and friends) passes its argument's line provenance
+	// through; a zero-argument constructor (newMeta()) yields fresh
+	// metadata owned by the constructing lane.
+	if callee := fa.la.calleeFunc(call); callee != nil {
+		if t := fa.la.typeOf(call); t != nil && fa.isMetaType(t) {
+			switch len(call.Args) {
+			case 0:
+				return canonVal("@fresh")
+			case 1:
+				return fa.canonOf(call.Args[0], e)
+			}
+		}
+	}
 	name := types.ExprString(call.Fun)
 	if t := fa.la.typeOf(call); t != nil && isNodeIDish(t) {
 		return foreignVal("node index derived by " + name)
@@ -1086,6 +1139,28 @@ func splitTxnPath(path string) (node, blk string, ok bool) {
 	return "", "", false
 }
 
+// lineInner extracts X from a path rooted at lineof(X), tolerating any
+// selector suffix ("lineof(msg.Dst).Meta.(assert)" -> "msg.Dst").
+func lineInner(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, "lineof(")
+	if !ok {
+		return "", false
+	}
+	depth := 1
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return rest[:i], true
+			}
+		}
+	}
+	return "", false
+}
+
 func cutWrap(path, prefix string) (string, bool) {
 	if strings.HasPrefix(path, prefix) && strings.HasSuffix(path, ")") {
 		return path[len(prefix) : len(path)-1], true
@@ -1105,6 +1180,7 @@ func (fa *funcAnalysis) checkExpr(expr ast.Expr, e env) {
 		fa.checkCall(x, e)
 	case *ast.IndexExpr:
 		fa.checkNodesIndex(x, e)
+		fa.checkEngineSliceIndex(x, e)
 		fa.checkExpr(x.X, e)
 		fa.checkExpr(x.Index, e)
 	case *ast.SelectorExpr:
@@ -1178,23 +1254,35 @@ func (fa *funcAnalysis) checkWrite(lhs ast.Expr, rhs []ast.Expr, e env) {
 		}
 		return
 	}
-	// R3: chain-link store into line metadata.
+	// R3: chain-link store into a FOREIGN line's metadata. The value
+	// being stored is plain data — what matters is which lane owns the
+	// line the metadata belongs to. Metadata reached through a
+	// lane-resident lookup (lineof(X) with X resident) is fine; a
+	// bare parameter-rooted handle is the callee's contract (recorded
+	// as a requirement in summary mode, accepted at handler entry where
+	// the only line parameter is OnEvict's own).
 	if bt := fa.la.typeOf(sel.X); bt != nil && fa.isMetaType(bt) {
 		if ft := fa.la.typeOf(sel); ft != nil && isNodeIDish(ft) {
-			var v value = foreignVal("cleared")
-			if len(rhs) == 1 {
-				v = fa.canonOf(rhs[0], e)
-			} else if rhs == nil {
-				return // IncDec on a NodeID field: not a link store
+			v := fa.canonOf(sel.X, e)
+			if v.kind == vCanon && lineRootIsParam(v.path, fa.sum, fa.decl) && !fa.summary {
+				return
 			}
 			if !fa.resident(reqLane, v) {
-				if fa.engine != "" || !fa.summary {
-					fa.reportf(lhs.Pos(), "chain-link store of %s into %s.%s: another lane will read this pointer",
-						describeVal(v), typeName(bt), sel.Sel.Name)
-				}
+				fa.failResidency(lhs.Pos(), reqLane, v,
+					fmt.Sprintf("chain-link store into %s.%s on a foreign line", typeName(bt), sel.Sel.Name))
 			}
 		}
 	}
+}
+
+// lineRootIsParam reports whether a canonical metadata path is rooted at
+// one of the enclosing declaration's parameters without a lineof()
+// wrapper — i.e. a line/metadata handle the caller handed in directly.
+func lineRootIsParam(path string, sum *funcSummary, decl *ast.FuncDecl) bool {
+	if _, wrapped := lineInner(path); wrapped {
+		return false
+	}
+	return contains(paramNames(decl), pathRoot(path))
 }
 
 // ctrChain reports whether sel's selector chain passes through the Ctr
@@ -1304,44 +1392,51 @@ func (fa *funcAnalysis) checkEngineMapField(sel *ast.SelectorExpr, e env) {
 	}
 }
 
-func (fa *funcAnalysis) checkCompositeLit(cl *ast.CompositeLit, e env) {
-	// R3 via composite literal of a meta type: &sciMeta{next: msg.Src}.
-	if t := fa.la.typeOf(cl); t != nil && fa.isMetaType(t) {
-		st, _ := derefStruct(t)
-		for i, elt := range cl.Elts {
-			var fieldName string
-			var valExpr ast.Expr
-			if kv, ok := elt.(*ast.KeyValueExpr); ok {
-				if id, ok := kv.Key.(*ast.Ident); ok {
-					fieldName = id.Name
-				}
-				valExpr = kv.Value
-			} else if st != nil && i < st.NumFields() {
-				fieldName = st.Field(i).Name()
-				valExpr = elt
-			}
-			if valExpr == nil {
-				continue
-			}
-			if ft := fa.la.typeOf(valExpr); ft != nil && isNodeIDish(ft) {
-				// Descend one level into a nested [2]NodeID{a, b}
-				// literal so the elements get checked individually.
-				elems := []ast.Expr{valExpr}
-				if inner, ok := valExpr.(*ast.CompositeLit); ok {
-					elems = inner.Elts
-				}
-				for _, el := range elems {
-					v := fa.canonOf(el, e)
-					if !fa.resident(reqLane, v) {
-						if fa.engine != "" || !fa.summary {
-							fa.reportf(el.Pos(), "chain-link store of %s into %s.%s: another lane will read this pointer",
-								describeVal(v), typeName(t), fieldName)
-						}
-					}
-				}
-			}
-		}
+// checkEngineSliceIndex fires the R4 slice variant: a per-lane engine
+// slice field (e.tombs[i], e.aggs[i]) may only be indexed by a
+// lane-resident node — each lane owns exactly its own slot.
+func (fa *funcAnalysis) checkEngineSliceIndex(ix *ast.IndexExpr, e env) {
+	sel, ok := ix.X.(*ast.SelectorExpr)
+	if !ok {
+		return
 	}
+	bt := fa.la.typeOf(sel.X)
+	if bt == nil {
+		return
+	}
+	for {
+		if p, ok := bt.(*types.Pointer); ok {
+			bt = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := bt.(*types.Named)
+	if !ok || n.Obj().Pkg() != fa.la.pkg {
+		return
+	}
+	if _, isEngine := fa.la.engines[n.Obj().Name()]; !isEngine {
+		return
+	}
+	ft := fa.la.typeOf(sel)
+	if ft == nil {
+		return
+	}
+	if _, isSlice := ft.Underlying().(*types.Slice); !isSlice {
+		return
+	}
+	v := fa.canonOf(ix.Index, e)
+	if !fa.resident(reqLane, v) {
+		fa.failResidency(ix.Pos(), reqLane, v,
+			fmt.Sprintf("per-lane engine state %s.%s[%s]", n.Obj().Name(), sel.Sel.Name, types.ExprString(ix.Index)))
+	}
+}
+
+func (fa *funcAnalysis) checkCompositeLit(cl *ast.CompositeLit, e env) {
+	// Composite literals of metadata types construct the metadata for a
+	// line being installed on the constructing lane (CompleteTxn), so
+	// message-carried indices in them are plain data — no R3 here; the
+	// elements still get the generic sink walk.
 	for _, elt := range cl.Elts {
 		fa.checkExpr(elt, e)
 	}
@@ -1403,7 +1498,21 @@ func (fa *funcAnalysis) checkCall(call *ast.CallExpr, e env) {
 				}
 			}
 		case "ScheduleAt":
-			fa.checkScheduledClosure(call, e)
+			if len(call.Args) == 3 {
+				fa.checkScheduledClosure(call.Args[0], call.Args[2], e)
+			}
+		case "DeferAt":
+			// m.DeferAt(issuer, target, fn): the issuer pins the replay
+			// order and must be the entry lane; the closure runs on the
+			// target's lane.
+			if len(call.Args) == 3 {
+				iv := fa.canonOf(call.Args[0], e)
+				if !fa.resident(reqLane, iv) {
+					fa.failResidency(call.Pos(), reqLane, iv,
+						fmt.Sprintf("m.DeferAt issuer %s must be the entry lane", types.ExprString(call.Args[0])))
+				}
+				fa.checkScheduledClosure(call.Args[1], call.Args[2], e)
+			}
 		case "ReadMem":
 			if len(call.Args) == 2 {
 				if fn, ok := call.Args[1].(*ast.FuncLit); ok {
@@ -1454,17 +1563,15 @@ func (fa *funcAnalysis) checkCall(call *ast.CallExpr, e env) {
 	}
 }
 
-// checkScheduledClosure handles m.ScheduleAt(n, d, fn): the closure body
+// checkScheduledClosure handles the closure argument of
+// m.ScheduleAt(n, d, fn) and m.DeferAt(issuer, n, fn): the closure body
 // is re-based to n's lane.
-func (fa *funcAnalysis) checkScheduledClosure(call *ast.CallExpr, e env) {
-	if len(call.Args) != 3 {
-		return
-	}
-	fn, ok := call.Args[2].(*ast.FuncLit)
+func (fa *funcAnalysis) checkScheduledClosure(target, fnArg ast.Expr, e env) {
+	fn, ok := fnArg.(*ast.FuncLit)
 	if !ok {
 		return
 	}
-	nv := fa.canonOf(call.Args[0], e)
+	nv := fa.canonOf(target, e)
 	R, HB := map[string]bool{}, map[string]bool{}
 	sube := e.clone()
 	switch nv.kind {
@@ -1474,10 +1581,11 @@ func (fa *funcAnalysis) checkScheduledClosure(call *ast.CallExpr, e env) {
 			HB[inner] = true
 		}
 	case vForeign, vConst:
-		// ScheduleAt(next, ...) with a chain-derived index is exactly
-		// the sanctioned cross-lane pattern: inside the closure, that
-		// variable IS the resident lane. Re-bind it.
-		if id, ok := call.Args[0].(*ast.Ident); ok {
+		// ScheduleAt(next, ...) / DeferAt(n, next, ...) with a
+		// chain-derived index is exactly the sanctioned cross-lane
+		// pattern: inside the closure, that variable IS the resident
+		// lane. Re-bind it.
+		if id, ok := target.(*ast.Ident); ok {
 			if obj := fa.la.info.ObjectOf(id); obj != nil {
 				sube[obj] = canonVal("@scheduled")
 				R["@scheduled"] = true
@@ -1496,7 +1604,7 @@ func (fa *funcAnalysis) argsToWalk(call *ast.CallExpr, e env) []ast.Expr {
 	consumedFuncLits := false
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isMachine(fa.la.typeOf(sel.X)) {
 		switch sel.Sel.Name {
-		case "ScheduleAt", "ReadMem", "ScheduleGlobal", "GlobalOpAt":
+		case "ScheduleAt", "ReadMem", "ScheduleGlobal", "GlobalOpAt", "DeferAt":
 			consumedFuncLits = true
 		}
 	}
@@ -1523,6 +1631,13 @@ func (fa *funcAnalysis) substReqPath(path string, params []string, args []ast.Ex
 		}
 		return v
 	}
+	if inner, ok := cutWrap(path, "lineof("); ok {
+		v := fa.substReqPath(inner, params, args, e)
+		if v.kind == vCanon {
+			return canonVal("lineof(" + v.path + ")")
+		}
+		return v
+	}
 	root := pathRoot(path)
 	idx := -1
 	for i, p := range params {
@@ -1534,8 +1649,34 @@ func (fa *funcAnalysis) substReqPath(path string, params []string, args []ast.Ex
 	if idx < 0 || idx >= len(args) {
 		return foreignVal("argument flowing into " + path)
 	}
-	av := fa.canonOf(args[idx], e)
 	suffix := strings.TrimPrefix(path, root)
+	// A composite-literal argument (e.g. aggKey{n: n, b: b}) resolves a
+	// field requirement like "key.n" to the matching element expression.
+	if cl, ok := args[idx].(*ast.CompositeLit); ok && suffix != "" {
+		segs := strings.Split(strings.TrimPrefix(suffix, "."), ".")
+		if len(segs) > 0 && segs[0] != "" {
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != segs[0] {
+					continue
+				}
+				v := fa.canonOf(kv.Value, e)
+				if v.kind != vCanon {
+					return v
+				}
+				for _, seg := range segs[1:] {
+					v = canonVal(v.path + "." + seg)
+				}
+				return v
+			}
+		}
+		return foreignVal("composite value")
+	}
+	av := fa.canonOf(args[idx], e)
 	if suffix == "" {
 		return av
 	}

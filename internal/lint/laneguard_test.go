@@ -16,8 +16,9 @@ import (
 func TestLaneGuard(t *testing.T) { runTestdata(t, LaneGuard) }
 
 // TestLaneGuardCertifiesShardSafeEngines is the certification the CI
-// lint gate relies on: the four shard-safe engine packages must have
-// zero cross-lane touch points.
+// lint gate relies on: every engine package — all eight engine families
+// (fm, l4, b4, ll4, T4, stp, sci, sll) — must declare ShardSafeEngine
+// and have zero cross-lane touch points.
 func TestLaneGuardCertifiesShardSafeEngines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the module for export data")
@@ -26,12 +27,15 @@ func TestLaneGuardCertifiesShardSafeEngines(t *testing.T) {
 		"dircc/internal/protocol/fullmap",
 		"dircc/internal/protocol/limited",
 		"dircc/internal/protocol/limitless",
+		"dircc/internal/protocol/list",
+		"dircc/internal/protocol/stp",
+		"dircc/internal/core",
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 3 {
-		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	if len(pkgs) != 6 {
+		t.Fatalf("loaded %d packages, want 6", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		if !declaresShardSafeEngine(pkg.Types) {
@@ -43,16 +47,20 @@ func TestLaneGuardCertifiesShardSafeEngines(t *testing.T) {
 	}
 }
 
-// TestLaneGuardInventory pins the cross-lane work-list for the
-// non-shard-safe engines (ROADMAP item 1). The exact counts move as the
-// engines evolve; what must not silently change is that each engine has
-// a non-empty inventory and that the known hazard classes keep being
-// attributed to the right lines.
+// TestLaneGuardInventory pins the cross-lane work-list at EMPTY: since
+// the chain/tree restructure routed every cross-lane mutation through
+// the scheduling façade (DeferAt/ScheduleAt/GlobalOpAt), all engines
+// certify shard-safe and `make inventory` must emit no touch points.
+// A regression that reintroduces a direct cross-lane access shows up
+// here as a non-empty inventory with the offending file:line.
 func TestLaneGuardInventory(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the module for export data")
 	}
 	pkgs, err := Load(
+		"dircc/internal/protocol/fullmap",
+		"dircc/internal/protocol/limited",
+		"dircc/internal/protocol/limitless",
 		"dircc/internal/protocol/list",
 		"dircc/internal/protocol/stp",
 		"dircc/internal/core",
@@ -64,13 +72,16 @@ func TestLaneGuardInventory(t *testing.T) {
 	byEngine := map[string]EngineInventory{}
 	for _, e := range inv {
 		byEngine[e.Package+" "+e.Engine] = e
-		if e.ShardSafe {
-			t.Errorf("%s %s: unexpectedly certified shard-safe", e.Package, e.Engine)
+		if !e.ShardSafe {
+			t.Errorf("%s %s: not certified shard-safe", e.Package, e.Engine)
 		}
-		if len(e.TouchPoints) == 0 {
-			t.Errorf("%s %s: empty inventory; the engine is known to have cross-lane touch points", e.Package, e.Engine)
+		for _, tp := range e.TouchPoints {
+			t.Errorf("%s %s: unexpected cross-lane touch point %s:%d (%s): %s",
+				e.Package, e.Engine, filepath.Base(tp.File), tp.Line, tp.Func, tp.Reason)
 		}
 	}
+	// Every engine family must appear: an engine silently dropping out
+	// of the inventory would make the empty-work-list assertion vacuous.
 	for _, key := range []string{
 		"dircc/internal/protocol/list SCI",
 		"dircc/internal/protocol/list SLL",
@@ -79,54 +90,6 @@ func TestLaneGuardInventory(t *testing.T) {
 	} {
 		if _, ok := byEngine[key]; !ok {
 			t.Errorf("no inventory for %s (have %v)", key, keysOf(byEngine))
-		}
-	}
-
-	// Golden touch points: one representative per hazard class per
-	// engine, pinned by file:line and a reason fragment.
-	golden := []struct {
-		engine string
-		file   string
-		line   int
-		reason string
-	}{
-		// SCI: requester-side ReleaseHome, chain-link store from the
-		// message payload, and the evict-time neighbour splice.
-		{"dircc/internal/protocol/list SCI", "sci.go", 234, "m.ReleaseHome(msg.Block) touches the home directory/gate state"},
-		{"dircc/internal/protocol/list SCI", "sci.go", 280, "chain-link store of node index msg.Requester (message-carried)"},
-		{"dircc/internal/protocol/list SCI", "sci.go", 304, "derived by e.liveSuccessor"},
-		{"dircc/internal/protocol/list SCI", "sci.go", 478, "access to m.Nodes[prev]"},
-		{"dircc/internal/protocol/list SCI", "sci.go", 489, "access to m.Nodes[next]"},
-		// SLL: same classes on the simpler chain.
-		{"dircc/internal/protocol/list SLL", "sll.go", 225, "m.ReleaseHome(msg.Block) touches the home directory/gate state"},
-		{"dircc/internal/protocol/list SLL", "sll.go", 260, "chain-link store of node index msg.Src (message-carried)"},
-		{"dircc/internal/protocol/list SLL", "sll.go", 342, "m.Invalidate(next, ...) mutates that node's cache"},
-		// STP: message-carried pointer list into tree metadata.
-		{"dircc/internal/protocol/stp Engine", "stp.go", 311, "message-carried pointer list (msg.Ptrs)"},
-		{"dircc/internal/protocol/stp Engine", "stp.go", 416, "engine-global map Engine.aggs"},
-		// Dir_iTree_k core: child-list stores and the shared aggregates.
-		{"dircc/internal/core Engine", "dirtree.go", 517, "derived by childrenOf"},
-		{"dircc/internal/core Engine", "dirtree.go", 659, "engine-global map Engine.aggs"},
-	}
-	for _, g := range golden {
-		e, ok := byEngine[g.engine]
-		if !ok {
-			continue
-		}
-		found := false
-		for _, tp := range e.TouchPoints {
-			if filepath.Base(tp.File) == g.file && tp.Line == g.line && strings.Contains(tp.Reason, g.reason) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.Errorf("%s: no touch point %s:%d with reason containing %q", g.engine, g.file, g.line, g.reason)
-			for _, tp := range e.TouchPoints {
-				if filepath.Base(tp.File) == g.file && tp.Line == g.line {
-					t.Logf("  at that line: %s", tp.Reason)
-				}
-			}
 		}
 	}
 }
@@ -139,20 +102,22 @@ func keysOf(m map[string]EngineInventory) []string {
 	return out
 }
 
-// TestLaneGuardCatchesStaleSpliceRevert reverts PR 5's SCI stale-splice
-// fix in memory (the reply's next pointer came straight from msg.Src
-// instead of e.liveSuccessor, splicing evicted nodes back into the
-// sharing list) and proves laneguard attributes the mutated line to a
-// message-carried index. The unmutated tree must NOT carry that
-// attribution at the same site, so the finding is specific to the bug,
-// not an artifact of the neighbourhood.
-func TestLaneGuardCatchesStaleSpliceRevert(t *testing.T) {
+// TestLaneGuardCatchesDirectChainWalkRevert reverts SCI's deferred
+// successor resolution in memory: the ChainData handler calls
+// e.successorHop directly on the requester's lane instead of hopping to
+// the supplier's lane via m.DeferAt, so the walk reads the supplier's
+// line and tombstone cross-lane. Laneguard must fail the mutated call
+// site (successorHop's summarized residency requirement on `cur` no
+// longer holds), and the unmutated tree must certify clean — proving
+// the gate is specific to the bug, not an artifact of the
+// neighbourhood.
+func TestLaneGuardCatchesDirectChainWalkRevert(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the module for export data")
 	}
 	const (
-		fixed   = "next := e.liveSuccessor(m, msg.Src, msg.Block)"
-		mutated = "next := msg.Src"
+		fixed   = "m.DeferAt(n, src, func() { e.successorHop(m, txn, chain, src, 0) })"
+		mutated = "e.successorHop(m, txn, chain, src, 0)"
 	)
 	dir := filepath.Join("..", "protocol", "list")
 	src, err := os.ReadFile(filepath.Join(dir, "sci.go"))
@@ -183,7 +148,7 @@ func TestLaneGuardCatchesStaleSpliceRevert(t *testing.T) {
 			if filepath.Base(name) == "sci.go" {
 				text = []byte(code)
 				for i, l := range strings.Split(code, "\n") {
-					if strings.Contains(l, "next :=") && strings.Contains(l, "msg.Src") {
+					if strings.Contains(l, "e.successorHop(m, txn, chain, src, 0)") {
 						mutLine = i + 1
 						break
 					}
@@ -196,7 +161,7 @@ func TestLaneGuardCatchesStaleSpliceRevert(t *testing.T) {
 			files = append(files, f)
 		}
 		if mutLine == 0 {
-			t.Fatal("could not locate the splice line in sci.go")
+			t.Fatal("could not locate the successorHop call in sci.go")
 		}
 		imports := map[string]bool{}
 		for _, f := range files {
@@ -219,23 +184,21 @@ func TestLaneGuardCatchesStaleSpliceRevert(t *testing.T) {
 			t.Fatalf("typecheck mutated list package: %v", err)
 		}
 		pkg := &Package{ImportPath: tpkg.Path(), Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+		// The list package is shard-safe, so the gating analyzer itself
+		// fires on the mutated call site.
 		var out []string
-		// The list package is not shard-safe, so the gating analyzer is
-		// silent there; the inventory is where the touch point shows up.
-		for _, e := range Inventory([]*Package{pkg}) {
-			for _, tp := range e.TouchPoints {
-				if filepath.Base(tp.File) == "sci.go" && tp.Line >= mutLine && tp.Line <= mutLine+1 {
-					out = append(out, tp.Reason)
-				}
+		for _, d := range RunAnalyzers([]*Package{pkg}, []*Analyzer{LaneGuard}) {
+			if filepath.Base(d.Pos.Filename) == "sci.go" && d.Pos.Line >= mutLine && d.Pos.Line <= mutLine+1 {
+				out = append(out, d.Message)
 			}
 		}
 		return out
 	}
 
-	// The clean tree also mentions msg.Src (message-carried) at the
-	// liveSuccessor CALL — what only the mutant has is a chain-link
-	// STORE of the message-carried index.
-	carried := regexp.MustCompile(`chain-link store of node index msg\.Src \(message-carried\)`)
+	// The mutant's direct call hands successorHop a message-carried
+	// supplier index on the wrong lane; the summarized requirement
+	// surfaces at the call site.
+	carried := regexp.MustCompile(`call to successorHop: .* is not resident`)
 
 	mutant := findingsAt(strings.Replace(string(src), fixed, mutated, 1))
 	found := false
@@ -245,22 +208,12 @@ func TestLaneGuardCatchesStaleSpliceRevert(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Errorf("reverting the stale-splice fix: no message-carried attribution at the splice; got %q", mutant)
+		t.Errorf("reverting the deferred chain walk: no residency finding at the direct call; got %q", mutant)
 	}
 
 	clean := findingsAt(string(src))
 	for _, r := range clean {
-		if carried.MatchString(r) {
-			t.Errorf("unmutated sci.go attributed to msg.Src at the splice: %q", r)
-		}
-	}
-	if len(clean) == 0 {
-		t.Error("unmutated splice has no inventory entries at all; expected the liveSuccessor-derived store")
-	}
-	for _, r := range clean {
-		if !strings.Contains(r, "liveSuccessor") {
-			t.Logf("unmutated splice entry: %s", r)
-		}
+		t.Errorf("unmutated sci.go has a finding at the deferred hop: %q", r)
 	}
 }
 

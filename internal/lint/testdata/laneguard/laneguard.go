@@ -27,6 +27,7 @@ type entry struct {
 // the lane-provenance rules.
 type engine struct {
 	global map[coherent.BlockID]int
+	lanes  []int
 }
 
 func (e *engine) ShardSafeEngine() bool { return true }
@@ -51,13 +52,15 @@ func (e *engine) StartMiss(m *coherent.Machine, txn *coherent.Txn) {
 }
 
 // HomeRequest mutates other nodes' caches with directory-derived
-// indices — the classic cross-lane violations.
+// indices — the classic cross-lane violations — and indexes per-lane
+// engine state with a foreign node.
 func (e *engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(m, msg.Block)
 	e.global[msg.Block]++ // want `engine-global map`
 	if en.owner != coherent.NoNode {
 		m.Nodes[en.owner].Cache.Lookup(msg.Block) // want `not resident`
 		m.Invalidate(en.owner, msg.Block)         // want `m.Invalidate`
+		e.lanes[en.owner]++                       // want `per-lane engine state`
 	}
 	for n := range en.sharers {
 		m.Invalidate(n, msg.Block) // want `m.Invalidate`
@@ -68,6 +71,8 @@ func (e *engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 
 // HomeMsg routes the cross-lane work through the scheduling façade:
 // inside the re-based closure the scheduled index is the resident lane.
+// DeferAt is equally sanctioned — but only when the ISSUER is the
+// entry lane, since replay order is keyed to the issuing event.
 func (e *engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(m, msg.Block)
 	owner := en.owner
@@ -77,11 +82,18 @@ func (e *engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	m.ScheduleAt(owner, 1, func() {
 		m.Invalidate(owner, msg.Block)
 	})
+	m.DeferAt(msg.Dst, owner, func() {
+		e.lanes[owner]++
+	})
+	m.DeferAt(owner, msg.Dst, func() { // want `m.DeferAt issuer`
+		e.lanes[msg.Dst]++
+	})
 }
 
-// CacheMsg touches its own node's line (fine), stores a message-carried
-// index into chain metadata (a leak another lane will read), and
-// carries one reviewed suppression.
+// CacheMsg touches its own node's line (fine: message-carried indices
+// stored into the handler's own line are plain data), reaches into a
+// foreign node's line and stores a chain link there (a leak another
+// lane will read concurrently), and carries one reviewed suppression.
 func (e *engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	ln := m.Nodes[msg.Dst].Cache.Lookup(msg.Block)
 	if ln == nil {
@@ -89,7 +101,11 @@ func (e *engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	}
 	mt, _ := ln.Meta.(*meta)
 	if mt != nil {
-		mt.owner = msg.Requester // want `chain-link store`
+		mt.owner = msg.Requester // own line: plain data, no finding
+	}
+	prev := m.Nodes[msg.Src].Cache.Lookup(msg.Block) // want `not resident`
+	if pm, _ := prev.Meta.(*meta); pm != nil {
+		pm.owner = msg.Dst // want `chain-link store`
 	}
 	//dirccvet:allow laneguard read-only diagnostic peek, torn reads are benign here
 	_ = m.Nodes[msg.Src].Cache

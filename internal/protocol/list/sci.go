@@ -7,12 +7,35 @@ import (
 	"dircc/internal/coherent"
 )
 
-// sciEntry is the SCI home state: the head pointer.
+// sciEntry is the SCI home state: the head pointer plus the attach
+// table for in-flight read attaches. Both live at the home node, so
+// every mutation of them happens on the home's lane.
 type sciEntry struct {
 	state dirState
 	head  coherent.NodeID
 	owner coherent.NodeID
 	pend  *sciPending
+	// attach tracks every in-flight read attach on this block: key is
+	// the requester, value the old head it was told to fetch from. An
+	// eviction marks attaches aimed at the dying copy stale (NoNode) so
+	// the Fwd can be answered immediately instead of deferred —
+	// deferring an attach aimed at a dead incarnation onto that node's
+	// NEW transaction invents a dependency that can close a cycle of
+	// deferred attaches and deadlock.
+	attach map[coherent.NodeID]coherent.NodeID
+	// links is the authoritative copy of each live line's chain
+	// pointers. The per-line sciMeta is a lane-local cache: eviction
+	// splices capture and patch neighbors here, inline on the home's
+	// lane in global op order, so two same-instant evictions of
+	// adjacent copies always see each other's patches — the per-line
+	// copies are patched best-effort and self-heal through tombstones.
+	links map[coherent.NodeID]sciLink
+}
+
+// sciLink is the home-resident authoritative image of one line's chain
+// pointers (see sciEntry.links).
+type sciLink struct {
+	prev, next coherent.NodeID
 }
 
 type sciPending struct {
@@ -46,40 +69,61 @@ type tombKey struct {
 //
 // Replacement unlinks the node from the list with messages to both
 // neighbors. Two documented simulation liberties (DESIGN.md §6): the
-// splice takes effect atomically in simulator state (the unlink
-// messages account for traffic but real SCI resolves splice races with
-// retries we do not model), and a purge reaching a just-replaced node
-// consults a tombstone to continue down the chain.
+// splice takes effect within the eviction instant in simulator state
+// (the unlink messages account for traffic but real SCI resolves
+// splice races with retries we do not model), and a purge reaching a
+// just-replaced node consults a tombstone to continue down the chain.
+//
+// The engine is shard-safe: home state (directory entry + attach
+// table) is only touched on the home's lane, tombstones are
+// partitioned per node, and the three chain operations that
+// historically reached across nodes — the stale-attach check on a
+// forward, the eviction splice, and the live-successor reroute — run
+// as deferred ops (Machine.DeferAt) that hop to the lane owning each
+// piece of state and back, replayed in global order within the
+// instant.
 type SCI struct {
-	entries    map[coherent.BlockID]*sciEntry
-	tombstones map[tombKey]coherent.NodeID
-	// attach tracks every in-flight read attach: key is the requester,
-	// value the old head it was told to fetch from. An eviction marks
-	// attaches aimed at the dying copy stale (NoNode) so the Fwd can be
-	// answered immediately instead of deferred — deferring an attach
-	// aimed at a dead incarnation onto that node's NEW transaction
-	// invents a dependency that can close a cycle of deferred attaches
-	// and deadlock.
-	attach map[tombKey]coherent.NodeID
+	m *coherent.Machine
+	// tombs[n] holds node n's replacement tombstones: the old successor
+	// of each evicted incarnation, consumed by purges and successor
+	// walks that still name the dead copy. Only node n's lane writes
+	// tombs[n]; cross-lane readers hop (see successorHop).
+	tombs []map[coherent.BlockID]coherent.NodeID
 }
 
 // NewSCI returns an SCI engine.
 func NewSCI() *SCI {
-	return &SCI{
-		entries:    make(map[coherent.BlockID]*sciEntry),
-		tombstones: make(map[tombKey]coherent.NodeID),
-		attach:     make(map[tombKey]coherent.NodeID),
-	}
+	return &SCI{}
 }
 
 // Name implements coherent.Engine.
 func (e *SCI) Name() string { return "sci" }
 
+// Prepare implements coherent.Preparer: bind the machine and allocate
+// the per-node tombstone maps so each lane mutates only its own slot.
+func (e *SCI) Prepare(m *coherent.Machine) {
+	e.m = m
+	e.tombs = make([]map[coherent.BlockID]coherent.NodeID, len(m.Nodes))
+	for i := range e.tombs {
+		e.tombs[i] = make(map[coherent.BlockID]coherent.NodeID)
+	}
+}
+
+// ShardSafeEngine marks the engine safe for sharded execution: all
+// cross-lane chain surgery routes through DeferAt hops (see the type
+// comment).
+func (e *SCI) ShardSafeEngine() bool { return true }
+
 func (e *SCI) entry(b coherent.BlockID) *sciEntry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*sciEntry)
 	if en == nil {
-		en = &sciEntry{head: coherent.NoNode, owner: coherent.NoNode}
-		e.entries[b] = en
+		en = &sciEntry{
+			head:   coherent.NoNode,
+			owner:  coherent.NoNode,
+			attach: make(map[coherent.NodeID]coherent.NodeID),
+			links:  make(map[coherent.NodeID]sciLink),
+		}
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -134,11 +178,11 @@ func (e *SCI) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 			en.state = shared
 			en.owner = coherent.NoNode
 		}
-		e.attach[tombKey{msg.Requester, b}] = oldHead
+		en.attach[msg.Requester] = oldHead
 		e.markServed(m, msg.Requester, b)
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgHeadReply, Src: home, Dst: msg.Requester, Block: b,
-			Requester: msg.Requester, Aux: oldHead, Data: m.Store.Value(b), AckTo: coherent.NoNode,
+			Requester: msg.Requester, Aux: oldHead, AckTo: coherent.NoNode,
 		})
 		m.ReleaseHome(b)
 	case coherent.MsgWriteReq:
@@ -170,10 +214,13 @@ func (e *SCI) grantWrite(m *coherent.Machine, en *sciEntry, msg *coherent.Msg) {
 	en.owner = msg.Requester
 	en.head = msg.Requester
 	m.ReadMem(b, func() {
+		// RelHome: the write commit and home-gate release ride a
+		// companion event at the delivery instant on the home's own
+		// lane, in place of the receiver's handler doing them inline.
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			RelHome: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 		})
 	})
 }
@@ -189,7 +236,7 @@ func (e *SCI) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 		}
 		e.grantWrite(m, en, en.pend.req)
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		if en.owner == msg.Src {
 			en.owner = coherent.NoNode
@@ -213,25 +260,27 @@ func (e *SCI) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 // CacheMsg implements coherent.Engine.
 func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	n := msg.Dst
-	node := m.Nodes[n]
 	switch msg.Type {
 	case coherent.MsgDataReply:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil || txn.Write {
 			panic("list/sci: DataReply without matching read txn")
 		}
-		delete(e.tombstones, tombKey{n, msg.Block})
-		delete(e.attach, tombKey{n, msg.Block})
+		delete(e.tombs[n], msg.Block)
+		e.clearAttach(m, n, msg.Block)
+		e.mirrorLink(m, n, msg.Block, sciLink{prev: coherent.NoNode, next: coherent.NoNode})
 		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: coherent.NoNode})
 	case coherent.MsgWriteReply:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil || !txn.Write {
 			panic("list/sci: WriteReply without matching write txn")
 		}
-		delete(e.tombstones, tombKey{n, msg.Block})
-		delete(e.attach, tombKey{n, msg.Block})
+		delete(e.tombs[n], msg.Block)
+		e.clearAttach(m, n, msg.Block)
+		e.mirrorLink(m, n, msg.Block, sciLink{prev: coherent.NoNode, next: coherent.NoNode})
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, &sciMeta{prev: coherent.NoNode, next: coherent.NoNode})
-		m.ReleaseHome(msg.Block)
+		// The home gate is released by the RelHome companion event on
+		// the home's own lane (see grantWrite).
 	case coherent.MsgHeadReply:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil {
@@ -244,81 +293,47 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		// Attach to the old head.
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgFwd, Src: n, Dst: msg.Aux, Block: msg.Block,
-			Requester: n, Data: msg.Data, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Requester: n, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 		})
 	case coherent.MsgFwd:
-		// New head attaching: record it as our predecessor and supply
-		// the data.
-		if t, ok := e.attach[tombKey{msg.Requester, msg.Block}]; ok && t == coherent.NoNode {
-			// The attacher is chasing a copy we already evicted (its
-			// attach was stale-marked by OnEvict). Answer at once — never
-			// defer: deferring onto our own re-read transaction would
-			// invent a dependency on the NEW incarnation and can close a
-			// cycle of deferred attaches that deadlocks. The data comes
-			// from current home memory (an evicted dirty copy writes back
-			// synchronously, and no write can complete while the attacher
-			// is pending — its purge defers behind the attacher — so this
-			// is the value at the attacher's serialization point). Real
-			// SCI resolves this by retrying at memory; we skip the retry
-			// round trip, a documented liberty.
-			m.Send(&coherent.Msg{
-				Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
-				Requester: msg.Requester, HasData: true, Data: m.Store.Value(msg.Block),
-				Aux: coherent.NoNode, AckTo: coherent.NoNode,
-			})
-			return
-		}
-		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
-			txn.Deferred = append(txn.Deferred, msg)
-			return
-		}
-		ln := node.Cache.Lookup(msg.Block)
-		data := msg.Data
-		if ln != nil && ln.State != cache.Invalid {
-			data = ln.Val
-			if meta := sciMetaOf(ln); meta != nil {
-				meta.prev = msg.Requester
-			}
-			if ln.State == cache.Exclusive {
-				ln.State = cache.Valid
-				m.Send(&coherent.Msg{
-					Type: coherent.MsgWbData, Src: n, Dst: m.Home(msg.Block), Block: msg.Block,
-					HasData: true, Data: data, Write: true, ToDir: true,
-					Aux: coherent.NoNode, AckTo: coherent.NoNode,
-				})
-			}
-		}
-		m.Send(&coherent.Msg{
-			Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
-			Requester: msg.Requester, HasData: true, Data: data,
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
-		})
+		// The stale-attach check and, on the dead-line path, the data
+		// both live at the home, so the forward hops to the home's lane
+		// and back before it is served (see fwdViaHome).
+		fwd := msg
+		m.DeferAt(n, m.Home(msg.Block), func() { e.fwdViaHome(m, fwd, false) })
 	case coherent.MsgChainData:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil || txn.Write {
 			panic("list/sci: ChainData without matching read txn")
 		}
-		delete(e.tombstones, tombKey{n, msg.Block})
-		delete(e.attach, tombKey{n, msg.Block})
-		next := e.liveSuccessor(m, msg.Src, msg.Block)
-		m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: next})
+		delete(e.tombs[n], msg.Block)
+		e.clearAttach(m, n, msg.Block)
+		// Resolve the supplier to its nearest live chain position on
+		// the lanes that own the links, then install (see successorHop).
+		chain := msg
+		src := msg.Src
+		m.DeferAt(n, src, func() { e.successorHop(m, txn, chain, src, 0) })
 	case coherent.MsgPurge:
 		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
 			txn.Deferred = append(txn.Deferred, msg)
 			return
 		}
 		next := coherent.NoNode
-		ln := node.Cache.Lookup(msg.Block)
+		ln := m.Nodes[n].Cache.Lookup(msg.Block)
 		if ln != nil && ln.State != cache.Invalid {
 			if meta := sciMetaOf(ln); meta != nil {
 				next = meta.next
 			}
 			m.Invalidate(n, msg.Block)
-		} else if t, ok := e.tombstones[tombKey{n, msg.Block}]; ok {
+			pb := msg.Block
+			m.DeferAt(n, m.Home(pb), func() {
+				delete(e.entry(pb).links, n)
+			})
+		} else if t, ok := e.tombs[n][msg.Block]; ok {
 			next = t
-			delete(e.tombstones, tombKey{n, msg.Block})
+			delete(e.tombs[n], msg.Block)
 		}
-		m.Ctr.InvAcks++
+		m.CtrAt(n).InvAcks++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgPurgeAck, Src: n, Dst: msg.Requester, Block: msg.Block,
 			Requester: msg.Requester, Aux: next, AckTo: coherent.NoNode,
@@ -336,28 +351,165 @@ func (e *SCI) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	}
 }
 
-// liveSuccessor resolves src to the nearest live chain position by
-// following replacement tombstones. An attacher recording src as its
-// successor while src's eviction raced the in-flight attach would
-// otherwise materialize an edge to a dead incarnation — the eviction
-// splice could not patch the attacher's pointer because its line did
-// not exist yet. Data flows strictly in attach order, so the supplier's
-// tombstone is still present whenever the edge needs rerouting.
-func (e *SCI) liveSuccessor(m *coherent.Machine, src coherent.NodeID, b coherent.BlockID) coherent.NodeID {
-	for hops := 0; hops <= len(m.Nodes); hops++ {
-		if src == coherent.NoNode {
-			return src
-		}
-		if ln := m.Nodes[src].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
-			return src
-		}
-		t, ok := e.tombstones[tombKey{src, b}]
-		if !ok {
-			return src
-		}
-		src = t
+// clearAttach drops the requester's attach record on the home's lane
+// once its transaction completes.
+func (e *SCI) clearAttach(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID) {
+	m.DeferAt(n, m.Home(b), func() {
+		delete(e.entry(b).attach, n)
+	})
+}
+
+// mirrorLink records node n's authoritative chain pointers at the home
+// (see sciEntry.links).
+func (e *SCI) mirrorLink(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, lk sciLink) {
+	m.DeferAt(n, m.Home(b), func() {
+		e.entry(b).links[n] = lk
+	})
+}
+
+// fwdViaHome runs on the home's lane: consult the attach table and
+// either answer a stale attach from home memory or bounce the forward
+// back to the old head's lane to be served there. rechecked is true on
+// the second pass serveFwd requests before deferring (see there).
+func (e *SCI) fwdViaHome(m *coherent.Machine, msg *coherent.Msg, rechecked bool) {
+	b := msg.Block
+	n := msg.Dst
+	home := m.Home(b)
+	en := e.entry(b)
+	if t, ok := en.attach[msg.Requester]; ok && t == coherent.NoNode {
+		// The attacher is chasing a copy we already evicted (its
+		// attach was stale-marked by OnEvict). Answer at once — never
+		// defer: deferring onto the old head's re-read transaction
+		// would invent a dependency on the NEW incarnation and can
+		// close a cycle of deferred attaches that deadlocks. The data
+		// comes from current home memory, read here on the home's
+		// lane: the stale mark and an evicted dirty copy's writeback
+		// ride the same deferred op, so a marked attach always sees
+		// the written-back value — the value at the attacher's
+		// serialization point (no write can complete while the
+		// attacher is pending; its purge defers behind the attacher).
+		// Real SCI resolves this by retrying at memory; we skip the
+		// retry round trip, a documented liberty.
+		data := m.Store.Value(b)
+		m.DeferAt(home, n, func() {
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: b,
+				Requester: msg.Requester, HasData: true, Data: data,
+				Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			})
+		})
+		return
 	}
-	return src
+	m.DeferAt(home, n, func() { e.serveFwd(m, msg, rechecked) })
+}
+
+// serveFwd runs on the old head's own lane: defer behind a served
+// read, supply from the live line, or fetch the current home value for
+// a silently replaced copy.
+func (e *SCI) serveFwd(m *coherent.Machine, msg *coherent.Msg, rechecked bool) {
+	n := msg.Dst
+	b := msg.Block
+	ln := m.Nodes[n].Cache.Lookup(b)
+	live := ln != nil && ln.State != cache.Invalid
+	if txn := m.Txn(n, b); !live && txn != nil && !txn.Write && txn.Served {
+		if !rechecked {
+			// A same-instant eviction of the old incarnation may have
+			// scheduled its stale-mark after our first attach check ran:
+			// deferring now would hook the attacher onto the NEW
+			// incarnation's transaction and can close a deadlock cycle.
+			// Any such eviction has already replayed its inline part by
+			// the time we observe the dead line, so its mark op is
+			// scheduled — one more pass through the home's lane sees it.
+			m.DeferAt(n, m.Home(b), func() { e.fwdViaHome(m, msg, true) })
+			return
+		}
+		txn.Deferred = append(txn.Deferred, msg)
+		return
+	}
+	if !live {
+		// Replaced without a stale-marked attach: answer with the
+		// current home copy. The fetch hops to the home's lane; it is
+		// scheduled after the eviction that killed this line, so it
+		// observes that eviction's writeback.
+		home := m.Home(b)
+		m.DeferAt(n, home, func() {
+			data := m.Store.Value(b)
+			m.DeferAt(home, n, func() {
+				m.Send(&coherent.Msg{
+					Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: b,
+					Requester: msg.Requester, HasData: true, Data: data,
+					Aux: coherent.NoNode, AckTo: coherent.NoNode,
+				})
+			})
+		})
+		return
+	}
+	// New head attaching: record it as our predecessor and supply the
+	// data.
+	data := ln.Val
+	if meta := sciMetaOf(ln); meta != nil {
+		meta.prev = msg.Requester
+	}
+	req := msg.Requester
+	m.DeferAt(n, m.Home(b), func() {
+		en := e.entry(b)
+		if lk, ok := en.links[n]; ok {
+			lk.prev = req
+			en.links[n] = lk
+		}
+	})
+	if ln.State == cache.Exclusive {
+		ln.State = cache.Valid
+		m.Send(&coherent.Msg{
+			Type: coherent.MsgWbData, Src: n, Dst: m.Home(b), Block: b,
+			HasData: true, Data: data, Write: true, ToDir: true,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+		})
+	}
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: b,
+		Requester: msg.Requester, HasData: true, Data: data,
+		Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+}
+
+// successorHop resolves the supplier named by a ChainData to the
+// nearest live chain position by following replacement tombstones, one
+// deferred hop per candidate so each line and tombstone is read on the
+// lane that owns it. An attacher recording a dead incarnation as its
+// successor would otherwise materialize an edge the eviction splice
+// could not patch — the attacher's line did not exist yet. Data flows
+// strictly in attach order, so the supplier's tombstone is still
+// present whenever the edge needs rerouting. The walk ends with a hop
+// back to the requester's lane to install the line (cur's residency
+// invariant: successorHop always runs on cur's lane).
+func (e *SCI) successorHop(m *coherent.Machine, txn *coherent.Txn, msg *coherent.Msg, cur coherent.NodeID, hops int) {
+	n := msg.Dst
+	b := msg.Block
+	install := func(next coherent.NodeID) {
+		m.DeferAt(cur, n, func() {
+			e.mirrorLink(m, n, b, sciLink{prev: coherent.NoNode, next: next})
+			m.CompleteTxn(txn, cache.Valid, msg.Data, &sciMeta{prev: coherent.NoNode, next: next})
+		})
+	}
+	if hops > len(m.Nodes) {
+		install(cur)
+		return
+	}
+	if ln := m.Nodes[cur].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
+		install(cur)
+		return
+	}
+	t, ok := e.tombs[cur][b]
+	if !ok {
+		install(cur)
+		return
+	}
+	if t == coherent.NoNode {
+		install(t)
+		return
+	}
+	m.DeferAt(cur, t, func() { e.successorHop(m, txn, msg, t, hops+1) })
 }
 
 // startPurge begins the writer's serial purge at the old head.
@@ -386,9 +538,9 @@ func (e *SCI) continuePurge(m *coherent.Machine, txn *coherent.Txn, cur coherent
 			if meta := sciMetaOf(ln); meta != nil {
 				next = meta.next
 			}
-		} else if t, ok := e.tombstones[tombKey{txn.Node, txn.Block}]; ok {
+		} else if t, ok := e.tombs[txn.Node][txn.Block]; ok {
 			next = t
-			delete(e.tombstones, tombKey{txn.Node, txn.Block})
+			delete(e.tombs[txn.Node], txn.Block)
 		}
 		cur = next
 	}
@@ -399,7 +551,7 @@ func (e *SCI) continuePurge(m *coherent.Machine, txn *coherent.Txn, cur coherent
 		})
 		return
 	}
-	m.Ctr.Invalidations++
+	m.CtrAt(txn.Node).Invalidations++
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgPurge, Src: txn.Node, Dst: cur, Block: txn.Block,
 		Requester: txn.Node, Aux: coherent.NoNode, AckTo: coherent.NoNode,
@@ -407,102 +559,182 @@ func (e *SCI) continuePurge(m *coherent.Machine, txn *coherent.Txn, cur coherent
 }
 
 // OnEvict implements coherent.Engine: splice out of the doubly linked
-// list, notifying both neighbors (the home when we are the head).
+// list, notifying both neighbors (the home when we are the head). The
+// lane-local part — the tombstone and the dirty writeback message —
+// happens inline; everything that touches home state (the attach
+// stale-marking, the head patch, the dirty-value application) rides a
+// deferred op to the home's lane, which in turn defers the neighbor
+// pointer patches to the lanes that own those lines.
 func (e *SCI) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	b := ln.Block
-	// Any in-flight attach aimed at this copy is now chasing a dead
-	// incarnation: stale-mark it so the Fwd is answered instead of
-	// deferred (see CacheMsg MsgFwd). The attacher is also our true
-	// in-flight predecessor — it supersedes meta.prev, which cannot
-	// have been updated yet (the Fwd carrying that update is the very
-	// message in flight).
-	pendingPrev := coherent.NoNode
-	for k, v := range e.attach {
-		if k.b == b && v == n {
-			e.attach[k] = coherent.NoNode
-			pendingPrev = k.n
-		}
-	}
+	home := m.Home(b)
 	if ln.State == cache.Exclusive {
-		// Dirty eviction: apply the writeback and the home bookkeeping
-		// atomically in simulator state — the same liberty as the list
-		// splice below — so home never serves the stale pre-writeback
-		// value during the message's flight; the Unlink accounts for the
-		// traffic. A dead-end tombstone makes chain edges recorded
-		// against this incarnation resolve to "end of list".
-		m.Ctr.Writebacks++
-		m.Store.WritebackValue(b, ln.Val)
-		en := e.entry(b)
-		if en.owner == n {
-			en.owner = coherent.NoNode
-		}
-		if en.head == n {
-			en.head = coherent.NoNode
-			en.state = uncached
-		} else if en.state == dirty {
-			en.state = shared
-		}
-		e.tombstones[tombKey{n, b}] = coherent.NoNode
+		// Dirty eviction: the writeback and the home bookkeeping take
+		// effect within the eviction instant — the same liberty as the
+		// list splice below — so home never serves the stale
+		// pre-writeback value once the eviction's deferred op has
+		// replayed; the Unlink accounts for the traffic. A dead-end
+		// tombstone makes chain edges recorded against this incarnation
+		// resolve to "end of list".
+		m.CtrAt(n).Writebacks++
+		e.tombs[n][b] = coherent.NoNode
+		val := ln.Val
 		m.Send(&coherent.Msg{
-			Type: coherent.MsgUnlink, Src: n, Dst: m.Home(b), Block: b,
-			HasData: true, Data: ln.Val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Type: coherent.MsgUnlink, Src: n, Dst: home, Block: b,
+			HasData: true, Data: val, ToDir: true, Aux: coherent.NoNode, AckTo: coherent.NoNode,
 		})
+		m.DeferAt(n, home, func() { e.evictDirtyAtHome(m, n, b, val) })
 		return
 	}
 	meta := sciMetaOf(ln)
-	if meta == nil {
+	provPrev, provNext := coherent.NoNode, coherent.NoNode
+	spliced := meta != nil
+	if spliced {
+		provPrev, provNext = meta.prev, meta.next
+		// Tombstone so an in-flight purge naming us can continue the
+		// walk. The local meta is provisional — a neighbor evicting in
+		// the same instant patches us through a deferred op we may not
+		// have seen yet — but a stale tombstone still self-heals: it
+		// names the dead neighbor, whose own tombstone carries the walk
+		// onward. spliceAtHome re-reads the authoritative links at the
+		// home and corrects the tombstone if it survives that long.
+		e.tombs[n][b] = provNext
+	}
+	m.DeferAt(n, home, func() { e.spliceAtHome(m, n, b, provPrev, provNext, spliced) })
+}
+
+// evictDirtyAtHome runs on the home's lane: stale-mark attaches aimed
+// at the dead copy, apply the writeback, and clear the ownership.
+func (e *SCI) evictDirtyAtHome(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, val uint64) {
+	en := e.entry(b)
+	e.staleMarkAttaches(en, n)
+	delete(en.links, n)
+	m.Store.WritebackValue(b, val)
+	if en.owner == n {
+		en.owner = coherent.NoNode
+	}
+	if en.head == n {
+		en.head = coherent.NoNode
+		en.state = uncached
+	} else if en.state == dirty {
+		en.state = shared
+	}
+}
+
+// spliceAtHome runs on the home's lane: stale-mark attaches aimed at
+// the dead copy, capture the authoritative chain pointers from the
+// home-resident links (the provisional lane-local capture loses races
+// against same-instant neighbor evictions), patch the head pointer and
+// the neighbors' authoritative links inline in global op order, defer
+// the lane-local pointer-cache patches to the owning lanes, and send
+// the unlink traffic from the evicting node's lane.
+func (e *SCI) spliceAtHome(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, provPrev, provNext coherent.NodeID, spliced bool) {
+	en := e.entry(b)
+	pendingPrev := e.staleMarkAttaches(en, n)
+	lk, auth := en.links[n]
+	delete(en.links, n)
+	if !spliced {
 		return
 	}
-	prev, next := meta.prev, meta.next
+	prev, next := provPrev, provNext
+	if auth {
+		prev, next = lk.prev, lk.next
+	}
 	if pendingPrev != coherent.NoNode {
-		// A pending attacher outranks whatever meta.prev says: it is
+		// A pending attacher outranks whatever the links said: it is
 		// the newest predecessor, and its own successor edge will be
 		// rerouted past us through the tombstone when it completes.
 		prev = pendingPrev
 	}
-	// Apply the splice in simulator state (see the type comment), then
-	// send the unlink traffic.
+	home := m.Home(b)
+	cn := next
+	m.DeferAt(home, n, func() {
+		// Correct the provisional tombstone to the authoritative
+		// successor — but never resurrect one a purge already consumed.
+		if _, live := e.tombs[n][b]; live {
+			e.tombs[n][b] = cn
+		}
+	})
 	if prev == coherent.NoNode {
-		en := e.entry(b)
 		if en.head == n {
 			en.head = next
 			if next == coherent.NoNode && en.state == shared {
 				en.state = uncached
 			}
 		}
-		m.Send(&coherent.Msg{
-			Type: coherent.MsgUnlink, Src: n, Dst: m.Home(b), Block: b,
-			ToDir: true, Aux: next, AckTo: coherent.NoNode,
+		m.DeferAt(home, n, func() {
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgUnlink, Src: n, Dst: home, Block: b,
+				ToDir: true, Aux: next, AckTo: coherent.NoNode,
+			})
 		})
 	} else {
-		if pl := m.Nodes[prev].Cache.Lookup(b); pl != nil {
-			if pm := sciMetaOf(pl); pm != nil && pm.next == n {
-				pm.next = next
-			}
+		p := prev
+		if pl, ok := en.links[p]; ok && pl.next == n {
+			pl.next = next
+			en.links[p] = pl
 		}
-		m.Send(&coherent.Msg{
-			Type: coherent.MsgUnlink, Src: n, Dst: prev, Block: b,
-			Aux: next, AckTo: coherent.NoNode,
+		m.DeferAt(home, p, func() {
+			if pl := m.Nodes[p].Cache.Lookup(b); pl != nil {
+				if pm := sciMetaOf(pl); pm != nil && pm.next == n {
+					pm.next = next
+				}
+			}
+		})
+		m.DeferAt(home, n, func() {
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgUnlink, Src: n, Dst: p, Block: b,
+				Aux: next, AckTo: coherent.NoNode,
+			})
 		})
 	}
 	if next != coherent.NoNode {
-		if nl := m.Nodes[next].Cache.Lookup(b); nl != nil {
-			if nm := sciMetaOf(nl); nm != nil && nm.prev == n {
-				nm.prev = prev
-			}
+		nn := next
+		fp := prev
+		if nl, ok := en.links[nn]; ok && nl.prev == n {
+			nl.prev = fp
+			en.links[nn] = nl
 		}
-		m.Send(&coherent.Msg{
-			Type: coherent.MsgUnlink, Src: n, Dst: next, Block: b,
-			Aux: prev, AckTo: coherent.NoNode,
+		m.DeferAt(home, nn, func() {
+			if nl := m.Nodes[nn].Cache.Lookup(b); nl != nil {
+				if nm := sciMetaOf(nl); nm != nil && nm.prev == n {
+					nm.prev = fp
+				}
+			}
+		})
+		m.DeferAt(home, n, func() {
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgUnlink, Src: n, Dst: nn, Block: b,
+				Aux: fp, AckTo: coherent.NoNode,
+			})
 		})
 	}
-	// Tombstone so an in-flight purge naming us can continue the walk.
-	e.tombstones[tombKey{n, b}] = next
+}
+
+// staleMarkAttaches marks every in-flight attach aimed at node n's
+// dying copy stale (NoNode) so its Fwd is answered instead of deferred
+// (see fwdViaHome), returning the attacher — the true in-flight
+// predecessor, superseding meta.prev, which cannot have been updated
+// yet (the Fwd carrying that update is the very message in flight).
+// Runs on the home's lane; iteration is in sorted order so replay is
+// deterministic.
+func (e *SCI) staleMarkAttaches(en *sciEntry, n coherent.NodeID) coherent.NodeID {
+	pendingPrev := coherent.NoNode
+	for _, r := range sortedAttachers(en.attach) {
+		if en.attach[r] == n {
+			en.attach[r] = coherent.NoNode
+			pendingPrev = r
+		}
+	}
+	return pendingPrev
 }
 
 // DescribeBlock implements coherent.BlockDumper for stall diagnostics.
 func (e *SCI) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	if e.m == nil {
+		return "uncached (no entry)"
+	}
+	en, _ := e.m.Dir(b).(*sciEntry)
 	if en == nil {
 		return "uncached (no entry)"
 	}

@@ -31,12 +31,21 @@ func (s dirState) String() string {
 	return fmt.Sprintf("dirState(%d)", uint8(s))
 }
 
-// sllEntry is the singly-linked home state: just the head pointer.
+// sllEntry is the singly-linked home state: the head pointer plus the
+// per-block request stamp.
 type sllEntry struct {
 	state dirState
 	head  coherent.NodeID
 	owner coherent.NodeID
 	pend  *sllPending
+	// seq counts the gated requests this home has serialized for the
+	// block. Every head record is made by exactly one request, so the
+	// stamp names list positions: a forward aimed at the record made by
+	// request s always carries stamp s+1 (only the immediately following
+	// request is ever forwarded to that record), which is what lets a
+	// replaced head tell a forward aimed at its old incarnation from one
+	// aimed at its in-flight re-read.
+	seq uint64
 }
 
 type sllPending struct {
@@ -65,20 +74,59 @@ type sllMeta struct {
 // protocol; message sizes on the wire count only what the real protocol
 // sends.
 type SLL struct {
-	entries map[coherent.BlockID]*sllEntry
+	// m is the bound machine (coherent.Preparer); directory entries
+	// are reached through m.Dir/m.SetDir so they are home-resident,
+	// which is what makes the engine's state lane-local under the
+	// sharded kernel.
+	m *coherent.Machine
+	// gone[n] is node n's victim buffer: the coherent value each
+	// silently-replaced line held at eviction, cleared when a fresh
+	// copy installs. A forward that reaches a replaced head is served
+	// from here — the home snapshot riding the forward may predate a
+	// demoting owner's in-flight writeback, and deferring behind the
+	// node's own re-read would deadlock (the re-read's supplier can be
+	// the very requester the forward carries). Only node n's lane
+	// touches gone[n].
+	gone []map[coherent.BlockID]uint64
+	// seqs[n] records the directory stamp (sllEntry.seq) of the request
+	// that installed node n's current — or, after a replacement, most
+	// recent — copy of each block. Stamps order list attachment: a
+	// replacement teardown only invalidates copies whose stamp is below
+	// the evictor's, and a replaced head serves a forward from its
+	// victim buffer only when the stamp says the forward was aimed at
+	// the buffered incarnation. Only node n's lane touches seqs[n].
+	seqs []map[coherent.BlockID]uint64
 }
 
 // NewSLL returns a singly linked list engine.
-func NewSLL() *SLL { return &SLL{entries: make(map[coherent.BlockID]*sllEntry)} }
+func NewSLL() *SLL { return &SLL{} }
+
+// Prepare implements coherent.Preparer: bind the machine and allocate
+// the per-node victim buffers so each lane mutates only its own slot.
+func (e *SLL) Prepare(m *coherent.Machine) {
+	e.m = m
+	e.gone = make([]map[coherent.BlockID]uint64, len(m.Nodes))
+	e.seqs = make([]map[coherent.BlockID]uint64, len(m.Nodes))
+	for i := range e.gone {
+		e.gone[i] = make(map[coherent.BlockID]uint64)
+		e.seqs[i] = make(map[coherent.BlockID]uint64)
+	}
+}
+
+// ShardSafeEngine implements coherent.ShardSafe: handler work stays on
+// the entry-context lane, and the one cross-lane mutation — the
+// replacement suffix teardown — hops down the chain as deferred ops
+// replayed on each successor's own lane (laneguard certifies this).
+func (e *SLL) ShardSafeEngine() bool { return true }
 
 // Name implements coherent.Engine.
 func (e *SLL) Name() string { return "sll" }
 
 func (e *SLL) entry(b coherent.BlockID) *sllEntry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*sllEntry)
 	if en == nil {
 		en = &sllEntry{head: coherent.NoNode, owner: coherent.NoNode}
-		e.entries[b] = en
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -101,6 +149,7 @@ func (e *SLL) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(msg.Block)
 	b := msg.Block
 	home := m.Home(b)
+	en.seq++
 	switch msg.Type {
 	case coherent.MsgReadReq:
 		if en.head == coherent.NoNode || en.head == msg.Requester {
@@ -109,12 +158,13 @@ func (e *SLL) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 			// home supplies the data directly.
 			en.state = shared
 			en.head = msg.Requester
+			seq := en.seq
 			m.ReadMem(b, func() {
 				e.markServed(m, msg.Requester, b)
 				m.Send(&coherent.Msg{
 					Type: coherent.MsgDataReply, Src: home, Dst: msg.Requester, Block: b,
 					Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
-					Aux: coherent.NoNode, AckTo: coherent.NoNode,
+					Aux: coherent.NoNode, AckTo: coherent.NoNode, Seq: seq,
 				})
 				m.ReleaseHome(b)
 			})
@@ -132,7 +182,7 @@ func (e *SLL) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgFwd, Src: home, Dst: oldHead, Block: b,
 			Requester: msg.Requester, Data: m.Store.Value(b),
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode, Seq: en.seq,
 		})
 		m.ReleaseHome(b)
 	case coherent.MsgWriteReq:
@@ -142,7 +192,7 @@ func (e *SLL) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 			return
 		}
 		en.pend = &sllPending{req: msg}
-		m.Ctr.Invalidations++
+		m.CtrAt(home).Invalidations++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInv, Src: home, Dst: en.head, Block: b,
 			Requester: msg.Requester, AckTo: home, AckDir: true, Aux: coherent.NoNode,
@@ -166,11 +216,17 @@ func (e *SLL) grantWrite(m *coherent.Machine, en *sllEntry, msg *coherent.Msg) {
 	en.state = dirty
 	en.owner = msg.Requester
 	en.head = msg.Requester
+	// The gate is held from the write's serialization until the grant,
+	// so en.seq is still the write's own stamp here.
+	seq := en.seq
 	m.ReadMem(b, func() {
+		// RelHome: the write commit and home-gate release ride a
+		// companion event at the delivery instant on the home's own
+		// lane, in place of the receiver's handler doing them inline.
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode, RelHome: true, Seq: seq,
 		})
 	})
 }
@@ -180,13 +236,13 @@ func (e *SLL) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 	en := e.entry(msg.Block)
 	switch msg.Type {
 	case coherent.MsgInvAck:
-		m.Ctr.InvAcks++
+		m.CtrAt(msg.Dst).InvAcks++
 		if en.pend == nil {
 			panic("list/sll: unexpected InvAck")
 		}
 		e.grantWrite(m, en, en.pend.req)
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		if en.owner == msg.Src {
 			en.owner = coherent.NoNode
@@ -215,28 +271,25 @@ func (e *SLL) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 		if txn == nil || txn.Write {
 			panic("list/sll: DataReply without matching read txn")
 		}
+		delete(e.gone[n], msg.Block)
+		e.seqs[n][msg.Block] = msg.Seq
 		m.CompleteTxn(txn, cache.Valid, msg.Data, &sllMeta{next: coherent.NoNode})
 	case coherent.MsgWriteReply:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil || !txn.Write {
 			panic("list/sll: WriteReply without matching write txn")
 		}
+		delete(e.gone[n], msg.Block)
+		e.seqs[n][msg.Block] = msg.Seq
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, &sllMeta{next: coherent.NoNode})
-		m.ReleaseHome(msg.Block)
+		// The home gate is released by the RelHome companion event on
+		// the home's own lane (see grantWrite).
 	case coherent.MsgFwd:
 		// Supply the block to the new head; the supplier stays in the
 		// list as the new head's successor.
-		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
-			// Our own copy is in flight; supply the requester after it
-			// installs (the home snapshot in msg.Data may be stale if a
-			// dirty owner upstream keeps writing).
-			txn.Deferred = append(txn.Deferred, msg)
-			return
-		}
 		ln := node.Cache.Lookup(msg.Block)
-		data := msg.Data // home copy, used when this node replaced silently
 		if ln != nil && ln.State != cache.Invalid {
-			data = ln.Val
+			data := ln.Val
 			if ln.State == cache.Exclusive {
 				// Demote and write back (RM on a dirty head).
 				ln.State = cache.Valid
@@ -246,17 +299,58 @@ func (e *SLL) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 					Aux: coherent.NoNode, AckTo: coherent.NoNode,
 				})
 			}
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
+				Requester: msg.Requester, HasData: true, Data: data,
+				Aux: coherent.NoNode, AckTo: coherent.NoNode, Seq: msg.Seq,
+			})
+			return
 		}
+		// The copy the home aimed this forward at is gone. The stamp
+		// says which incarnation that was: a forward aimed at the record
+		// our last install made carries exactly our stamp + 1 (each head
+		// record forwards only the immediately following request), so a
+		// larger stamp means the home has already recorded our in-flight
+		// re-read and aimed the forward at it.
+		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served &&
+			msg.Seq > e.seqs[n][msg.Block]+1 {
+			// Aimed at our in-flight copy; supply the requester after it
+			// installs (the home snapshot in msg.Data may be stale if a
+			// dirty owner upstream keeps writing), so the requester's
+			// successor pointer names an installed copy.
+			txn.Deferred = append(txn.Deferred, msg)
+			return
+		}
+		if v, ok := e.gone[n][msg.Block]; ok {
+			// Aimed at the incarnation we silently replaced; its suffix
+			// came down with it. Serve from the victim value: it is the
+			// chain value at the forward's serialization point (the home
+			// snapshot in msg.Data may predate our own in-flight
+			// writeback or a demoting owner's), and deferring behind our
+			// own re-read would let two in-flight attaches wait on each
+			// other forever.
+			m.Send(&coherent.Msg{
+				Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
+				Requester: msg.Requester, HasData: true, Data: v,
+				Aux: coherent.NoNode, AckTo: coherent.NoNode, Seq: msg.Seq,
+			})
+			return
+		}
+		// No victim value (the old copy fell to an invalidation wave,
+		// not a replacement): the home snapshot is coherent for this
+		// forward's serialization point.
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgChainData, Src: n, Dst: msg.Requester, Block: msg.Block,
-			Requester: msg.Requester, HasData: true, Data: data,
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Requester: msg.Requester, HasData: true, Data: msg.Data,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode, Seq: msg.Seq,
 		})
 	case coherent.MsgChainData:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil || txn.Write {
 			panic("list/sll: ChainData without matching read txn")
 		}
+		delete(e.gone[n], msg.Block)
+		e.seqs[n][msg.Block] = msg.Seq
 		m.CompleteTxn(txn, cache.Valid, msg.Data, &sllMeta{next: msg.Src})
 	case coherent.MsgInv:
 		if txn := m.Txn(n, msg.Block); txn != nil && !txn.Write && txn.Served {
@@ -281,14 +375,19 @@ func (e *SLL) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			e.ack(m, n, msg) // tail acknowledges
 			return
 		}
-		m.Ctr.Invalidations++
+		m.CtrAt(n).Invalidations++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInv, Src: n, Dst: next, Block: msg.Block,
 			Requester: msg.Requester, AckTo: msg.AckTo, AckDir: msg.AckDir, Aux: coherent.NoNode,
 		})
 	case coherent.MsgReplaceInv:
-		// Traffic accounting only: the suffix teardown was applied in
-		// simulator state at eviction time (see OnEvict).
+		// Stamped copies are deferred teardown continuations replayed
+		// from our own transaction after the install they waited for
+		// (see teardownAt); unstamped ones are the on-the-wire traffic
+		// copies of a walk already applied in simulator state.
+		if msg.Seq != 0 {
+			e.teardownAt(m, n, msg.Block, msg.Seq)
+		}
 	default:
 		panic("list/sll: unexpected cache message " + msg.Type.String())
 	}
@@ -306,13 +405,17 @@ func (e *SLL) ack(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
 // analogue of the tree scheme's subtree teardown); an exclusive line
 // writes back.
 //
-// Simulation liberty (DESIGN.md §6): the teardown takes effect
-// atomically in simulator state, with the Replace_INV messages sent for
-// traffic accounting only. A real implementation needs a victim buffer
-// or retry protocol to keep a racing invalidation walk sequentially
-// consistent; the tree engine in internal/core models that mechanism
-// faithfully.
+// Simulation liberty (DESIGN.md §6): the teardown takes effect within
+// the eviction instant, with the Replace_INV messages sent for traffic
+// accounting only. The victim buffer (SLL.gone) models the mechanism a
+// real implementation needs to keep a racing forward sequentially
+// consistent: the evicted value is retained until a fresh copy
+// installs, so a forward that still names this node as head can be
+// served coherently. The teardown walk hops down the chain one
+// deferred op at a time (see teardown), so each successor's line is
+// read and invalidated on that successor's own lane.
 func (e *SLL) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
+	e.gone[n][ln.Block] = ln.Val
 	if ln.State == cache.Exclusive {
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWbData, Src: n, Dst: m.Home(ln.Block), Block: ln.Block,
@@ -320,34 +423,74 @@ func (e *SLL) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 		})
 		return
 	}
-	src := n
 	next := coherent.NoNode
 	if meta, ok := ln.Meta.(*sllMeta); ok {
 		next = meta.next
 	}
-	for next != coherent.NoNode {
-		m.Ctr.ReplaceInvs++
-		m.Send(&coherent.Msg{
-			Type: coherent.MsgReplaceInv, Src: src, Dst: next, Block: ln.Block,
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
-		})
-		cur := m.Nodes[next].Cache.Lookup(ln.Block)
-		if cur == nil || cur.State == cache.Invalid {
-			break
+	if next != coherent.NoNode {
+		e.teardown(m, n, next, ln.Block, e.seqs[n][ln.Block])
+	}
+}
+
+// teardown runs one hop of the suffix teardown from src's lane: account
+// the Replace_INV to next, then defer the examination and invalidation
+// of next's line onto next's own lane, where the walk continues through
+// next's forward pointer. The deferred ops replay in global (at, seq)
+// order, so the whole suffix still comes down within the eviction
+// instant, one lane-local step per link. evictSeq is the evicting
+// node's attach stamp: the walk owns exactly the copies that attached
+// below it (stamp < evictSeq). The wire message carries no stamp —
+// stamped Replace_INVs are reserved for the deferred continuations a
+// mid-attach successor replays against itself (see teardownAt).
+func (e *SLL) teardown(m *coherent.Machine, src, next coherent.NodeID, b coherent.BlockID, evictSeq uint64) {
+	m.CtrAt(src).ReplaceInvs++
+	m.Send(&coherent.Msg{
+		Type: coherent.MsgReplaceInv, Src: src, Dst: next, Block: b,
+		Aux: coherent.NoNode, AckTo: coherent.NoNode,
+	})
+	m.DeferAt(src, next, func() { e.teardownAt(m, next, b, evictSeq) })
+}
+
+// teardownAt is the deferred half of one teardown hop, running on n's
+// own lane. A live copy that attached below the evictor (stamp <
+// evictSeq) is invalidated and the walk hops onward; a copy with a
+// newer stamp belongs to a later attach and ends the walk. A dead line
+// with no transaction ends the walk too (everything below came down
+// with it), but a dead line whose re-read is already in flight is a
+// mid-attach copy: if it was aimed below the evictor it must still come
+// down, so the kill — a stamped Replace_INV — is deferred behind the
+// install and replayed from the transaction, where the stamp comparison
+// settles whether the freshly installed copy is part of the suffix.
+func (e *SLL) teardownAt(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, evictSeq uint64) {
+	ln := m.Nodes[n].Cache.Lookup(b)
+	if ln == nil || ln.State == cache.Invalid {
+		if txn := m.Txn(n, b); txn != nil && !txn.Write && txn.Served {
+			txn.Deferred = append(txn.Deferred, &coherent.Msg{
+				Type: coherent.MsgReplaceInv, Src: n, Dst: n, Block: b,
+				Aux: coherent.NoNode, AckTo: coherent.NoNode, Seq: evictSeq,
+			})
 		}
-		nn := coherent.NoNode
-		if meta, ok := cur.Meta.(*sllMeta); ok {
-			nn = meta.next
-		}
-		m.Invalidate(next, ln.Block)
-		src = next
-		next = nn
+		return
+	}
+	if e.seqs[n][b] >= evictSeq {
+		return // a later attach reused this position; not ours to tear down
+	}
+	nn := coherent.NoNode
+	if meta, ok := ln.Meta.(*sllMeta); ok {
+		nn = meta.next
+	}
+	m.Invalidate(n, b)
+	if nn != coherent.NoNode {
+		e.teardown(m, n, nn, b, evictSeq)
 	}
 }
 
 // DescribeBlock implements coherent.BlockDumper for stall diagnostics.
 func (e *SLL) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	var en *sllEntry
+	if e.m != nil {
+		en, _ = e.m.Dir(b).(*sllEntry)
+	}
 	if en == nil {
 		return "uncached (no entry)"
 	}

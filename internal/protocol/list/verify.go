@@ -18,24 +18,58 @@ func (meta *sciMeta) String() string { return fmt.Sprintf("prev%d,next%d", meta.
 func (ps *purgeState) String() string { return fmt.Sprintf("purge@%d", ps.cur) }
 
 // CanonState implements coherent.ProtocolState for the singly linked
-// list engine.
+// list engine. The victim buffers and attach stamps are part of the
+// canonical state: a forward reaching a replaced head is served from
+// the victim value or deferred according to the stamps, so two states
+// differing only there can behave differently. The stamps are counts
+// of serialized requests — a function of which operations have
+// completed, not of their interleaving — so including them does not
+// stop converging interleavings from deduplicating.
 func (e *SLL) CanonState(w io.Writer) {
-	for _, b := range sortedBlocks(e.entries) {
-		en := e.entries[b]
-		if en.state == uncached && en.head == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil {
+	for _, b := range e.m.DirBlocks() {
+		en, _ := e.m.Dir(b).(*sllEntry)
+		if en == nil {
 			continue
 		}
-		fmt.Fprintf(w, "dir b%d %s head%d owner%d", b, en.state, en.head, en.owner)
+		if en.state == uncached && en.head == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil && en.seq == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "dir b%d %s head%d owner%d seq%d", b, en.state, en.head, en.owner, en.seq)
 		if p := en.pend; p != nil {
 			fmt.Fprintf(w, " pend{%s}", p.req.Canon())
 		}
 		fmt.Fprintln(w)
 	}
+	type goneKey struct {
+		n coherent.NodeID
+		b coherent.BlockID
+	}
+	collect := func(maps []map[coherent.BlockID]uint64) []goneKey {
+		var out []goneKey
+		for n, mm := range maps {
+			for b := range mm {
+				out = append(out, goneKey{n: coherent.NodeID(n), b: b})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].b != out[j].b {
+				return out[i].b < out[j].b
+			}
+			return out[i].n < out[j].n
+		})
+		return out
+	}
+	for _, k := range collect(e.gone) {
+		fmt.Fprintf(w, "gone n%d b%d = %d\n", k.n, k.b, e.gone[k.n][k.b])
+	}
+	for _, k := range collect(e.seqs) {
+		fmt.Fprintf(w, "seq n%d b%d = %d\n", k.n, k.b, e.seqs[k.n][k.b])
+	}
 }
 
 // CoverageRoots implements coherent.CoverageEnumerator.
 func (e *SLL) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*sllEntry)
 	if en == nil {
 		return nil
 	}
@@ -57,10 +91,16 @@ func (e *SLL) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.
 
 // CanonState implements coherent.ProtocolState for the SCI engine.
 // Tombstones are part of the canonical state: they steer in-flight
-// purges around replaced nodes.
+// purges around replaced nodes. Tombstones come from the per-node
+// maps and attaches from the home-resident entries; this quiesced
+// reader renders both in (block, node) order.
 func (e *SCI) CanonState(w io.Writer) {
-	for _, b := range sortedBlocks(e.entries) {
-		en := e.entries[b]
+	blocks := e.m.DirBlocks()
+	for _, b := range blocks {
+		en, _ := e.m.Dir(b).(*sciEntry)
+		if en == nil {
+			continue
+		}
 		if en.state == uncached && en.head == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil {
 			continue
 		}
@@ -70,9 +110,11 @@ func (e *SCI) CanonState(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	tombs := make([]tombKey, 0, len(e.tombstones))
-	for k := range e.tombstones {
-		tombs = append(tombs, k)
+	var tombs []tombKey
+	for n, mm := range e.tombs {
+		for b := range mm {
+			tombs = append(tombs, tombKey{n: coherent.NodeID(n), b: b})
+		}
 	}
 	sort.Slice(tombs, func(i, j int) bool {
 		if tombs[i].b != tombs[j].b {
@@ -81,26 +123,34 @@ func (e *SCI) CanonState(w io.Writer) {
 		return tombs[i].n < tombs[j].n
 	})
 	for _, k := range tombs {
-		fmt.Fprintf(w, "tomb n%d b%d -> %d\n", k.n, k.b, e.tombstones[k])
+		fmt.Fprintf(w, "tomb n%d b%d -> %d\n", k.n, k.b, e.tombs[k.n][k.b])
 	}
-	atts := make([]tombKey, 0, len(e.attach))
-	for k := range e.attach {
-		atts = append(atts, k)
-	}
-	sort.Slice(atts, func(i, j int) bool {
-		if atts[i].b != atts[j].b {
-			return atts[i].b < atts[j].b
+	for _, b := range blocks {
+		en, _ := e.m.Dir(b).(*sciEntry)
+		if en == nil {
+			continue
 		}
-		return atts[i].n < atts[j].n
-	})
-	for _, k := range atts {
-		fmt.Fprintf(w, "attach n%d b%d -> %d\n", k.n, k.b, e.attach[k])
+		for _, r := range sortedAttachers(en.attach) {
+			fmt.Fprintf(w, "attach n%d b%d -> %d\n", r, b, en.attach[r])
+		}
+	}
+	// The home-resident links are authoritative for eviction splices,
+	// so two states differing only in links can behave differently.
+	for _, b := range blocks {
+		en, _ := e.m.Dir(b).(*sciEntry)
+		if en == nil {
+			continue
+		}
+		for _, r := range sortedLinkNodes(en.links) {
+			lk := en.links[r]
+			fmt.Fprintf(w, "link n%d b%d prev%d next%d\n", r, b, lk.prev, lk.next)
+		}
 	}
 }
 
 // CoverageRoots implements coherent.CoverageEnumerator.
 func (e *SCI) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*sciEntry)
 	if en == nil {
 		return nil
 	}
@@ -117,7 +167,7 @@ func (e *SCI) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n coherent.
 			out = append(out, meta.next)
 		}
 	}
-	if t, ok := e.tombstones[tombKey{n, b}]; ok && t != coherent.NoNode {
+	if t, ok := e.tombs[n][b]; ok && t != coherent.NoNode {
 		out = append(out, t)
 	}
 	return out
@@ -134,10 +184,19 @@ func headOwnerRoots(head, owner coherent.NodeID) []coherent.NodeID {
 	return roots
 }
 
-func sortedBlocks[V any](m map[coherent.BlockID]V) []coherent.BlockID {
-	out := make([]coherent.BlockID, 0, len(m))
-	for b := range m {
-		out = append(out, b)
+func sortedLinkNodes(links map[coherent.NodeID]sciLink) []coherent.NodeID {
+	out := make([]coherent.NodeID, 0, len(links))
+	for r := range links {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAttachers(attach map[coherent.NodeID]coherent.NodeID) []coherent.NodeID {
+	out := make([]coherent.NodeID, 0, len(attach))
+	for r := range attach {
+		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

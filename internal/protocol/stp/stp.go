@@ -12,6 +12,13 @@
 // routing of internal/core keeping racing waves sequentially
 // consistent; a descent that reaches a torn-down node bounces to the
 // home, which re-roots the tree over the old root.
+//
+// All protocol actions are already message-structured — descent,
+// adoption, teardown and ack aggregation each run at the node that owns
+// the state they touch — so the engine is shard-safe by construction
+// once its bookkeeping is lane-partitioned: directory entries live in
+// the machine's per-home dir storage and the per-cache
+// aggregation/victim-buffer records in slices indexed by node.
 package stp
 
 import (
@@ -86,36 +93,64 @@ type agg struct {
 	req coherent.NodeID
 }
 
-// Engine is the STP engine for one machine.
+// Engine is the STP engine for one machine. All mutable state is
+// lane-partitioned for the sharded kernel: directory entries live in
+// the machine's per-home dir storage (bound at Prepare), and the
+// per-cache aggregation/victim-buffer records are slices indexed by
+// the owning node, so every handler touches only its own slot.
 type Engine struct {
-	entries map[coherent.BlockID]*entry
-	aggs    map[aggKey]*agg
-	tombs   map[aggKey][]coherent.NodeID
-
+	// m is the bound machine (coherent.Preparer); directory entries
+	// are reached through m.Dir/m.SetDir so they are home-resident.
+	m *coherent.Machine
+	// aggs[n] tracks node n's bottom-up ack aggregations, keyed by
+	// block. Only node n's lane reads or writes aggs[n].
+	aggs []map[coherent.BlockID]*agg
+	// tombs[n] retains the child pointers of node n's lines that died
+	// without acknowledged coverage (replacement, Replace_INV) — the
+	// victim buffer an ack-bearing Inv routes down so a write wave
+	// racing an in-flight teardown still covers every copy below.
+	tombs []map[coherent.BlockID][]coherent.NodeID
 	// torn is verification-only ghost state: blocks that have had a
-	// silent-replacement teardown, after which dangling child edges may
-	// legally form cycles. Never influences protocol behavior.
-	torn map[coherent.BlockID]bool
+	// silent-replacement teardown at node n, after which dangling child
+	// edges may legally form cycles (CheckShape reads the union over
+	// nodes at quiesce). Never influences protocol behavior.
+	torn []map[coherent.BlockID]bool
 }
 
 // New returns a binary STP engine.
 func New() *Engine {
-	return &Engine{
-		entries: make(map[coherent.BlockID]*entry),
-		aggs:    make(map[aggKey]*agg),
-		tombs:   make(map[aggKey][]coherent.NodeID),
-		torn:    make(map[coherent.BlockID]bool),
+	return &Engine{}
+}
+
+// Prepare implements coherent.Preparer: directory entries live in the
+// machine's per-home dir storage and the per-cache records in slices
+// indexed by node, which is what makes the engine's state lane-local
+// under the sharded kernel.
+func (e *Engine) Prepare(m *coherent.Machine) {
+	e.m = m
+	e.aggs = make([]map[coherent.BlockID]*agg, m.Cfg.Procs)
+	e.tombs = make([]map[coherent.BlockID][]coherent.NodeID, m.Cfg.Procs)
+	e.torn = make([]map[coherent.BlockID]bool, m.Cfg.Procs)
+	for i := 0; i < m.Cfg.Procs; i++ {
+		e.aggs[i] = make(map[coherent.BlockID]*agg)
+		e.tombs[i] = make(map[coherent.BlockID][]coherent.NodeID)
+		e.torn[i] = make(map[coherent.BlockID]bool)
 	}
 }
+
+// ShardSafeEngine implements coherent.ShardSafe: every handler stays
+// on its own lane — directory work at the home, per-cache work at the
+// dispatched node (laneguard certifies this).
+func (e *Engine) ShardSafeEngine() bool { return true }
 
 // Name implements coherent.Engine.
 func (e *Engine) Name() string { return "stp" }
 
 func (e *Engine) entry(b coherent.BlockID) *entry {
-	en := e.entries[b]
+	en, _ := e.m.Dir(b).(*entry)
 	if en == nil {
 		en = &entry{root: coherent.NoNode, owner: coherent.NoNode}
-		e.entries[b] = en
+		e.m.SetDir(b, en)
 	}
 	return en
 }
@@ -167,7 +202,7 @@ func (e *Engine) HomeRequest(m *coherent.Machine, msg *coherent.Msg) {
 			return
 		}
 		en.pend = &pending{req: msg, acksLeft: 1}
-		m.Ctr.Invalidations++
+		m.CtrAt(home).Invalidations++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInv, Src: home, Dst: en.root, Block: b,
 			Requester: msg.Requester, AckTo: home, AckDir: true, Aux: coherent.NoNode,
@@ -217,10 +252,13 @@ func (e *Engine) grantWrite(m *coherent.Machine, en *entry, msg *coherent.Msg) {
 	en.owner = msg.Requester
 	en.root = msg.Requester
 	m.ReadMem(b, func() {
+		// RelHome: the write commit and home-gate release ride a
+		// companion event at the delivery instant on the home's own
+		// lane, in place of the receiver's handler doing them inline.
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgWriteReply, Src: m.Home(b), Dst: msg.Requester, Block: b,
 			Requester: msg.Requester, HasData: true, Data: m.Store.Value(b),
-			Aux: coherent.NoNode, AckTo: coherent.NoNode,
+			Aux: coherent.NoNode, AckTo: coherent.NoNode, RelHome: true,
 		})
 	})
 }
@@ -265,7 +303,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			m.ReleaseHome(b)
 		})
 	case coherent.MsgInvAck:
-		m.Ctr.InvAcks++
+		m.CtrAt(msg.Dst).InvAcks++
 		p := en.pend
 		if p == nil || p.acksLeft <= 0 {
 			panic("stp: unexpected InvAck at home")
@@ -275,7 +313,7 @@ func (e *Engine) HomeMsg(m *coherent.Machine, msg *coherent.Msg) {
 			e.grantWrite(m, en, p.req)
 		}
 	case coherent.MsgWbData:
-		m.Ctr.Writebacks++
+		m.CtrAt(msg.Dst).Writebacks++
 		m.Store.WritebackValue(msg.Block, msg.Data)
 		if en.owner == msg.Src {
 			en.owner = coherent.NoNode
@@ -318,7 +356,8 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 			panic("stp: WriteReply without matching write txn")
 		}
 		m.CompleteTxn(txn, cache.Exclusive, txn.Value, newMeta())
-		m.ReleaseHome(msg.Block)
+		// The home gate is released by the RelHome companion event on
+		// the home's own lane (see grantWrite).
 	case coherent.MsgChainData:
 		txn := m.Txn(n, msg.Block)
 		if txn == nil || txn.Write {
@@ -332,14 +371,14 @@ func (e *Engine) CacheMsg(m *coherent.Machine, msg *coherent.Msg) {
 	case coherent.MsgInvAck:
 		e.onCacheAck(m, n, msg)
 	case coherent.MsgReplaceInv:
-		e.torn[msg.Block] = true
+		e.torn[n][msg.Block] = true
 		ln := node.Cache.Lookup(msg.Block)
 		if ln == nil || ln.State == cache.Invalid {
 			return
 		}
 		children := liveChildren(ln)
 		m.Invalidate(n, msg.Block)
-		e.mergeTombs(aggKey{n, msg.Block}, children)
+		e.mergeTombs(n, msg.Block, children)
 		e.sendReplaceInv(m, n, msg.Block, children)
 	case coherent.MsgWbReq:
 		panic("stp: WbReq unused by this engine")
@@ -412,15 +451,15 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 		txn.Deferred = append(txn.Deferred, msg)
 		return
 	}
-	key := aggKey{n, msg.Block}
-	a := e.aggs[key]
+	b := msg.Block
+	a := e.aggs[n][b]
 	if a != nil && a.armed {
 		e.sendAck(m, n, msg)
 		return
 	}
 	if a == nil {
 		a = &agg{}
-		e.aggs[key] = a
+		e.aggs[n][b] = a
 	}
 	a.armed = true
 	a.to = msg.AckTo
@@ -431,7 +470,7 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 		fanout = append(fanout, liveChildren(ln)...)
 		m.Invalidate(node.ID, msg.Block)
 	}
-	for _, c := range e.tombs[key] {
+	for _, c := range e.tombs[n][b] {
 		dup := false
 		for _, f := range fanout {
 			if f == c {
@@ -443,35 +482,34 @@ func (e *Engine) onInv(m *coherent.Machine, node *coherent.Node, msg *coherent.M
 			fanout = append(fanout, c)
 		}
 	}
-	delete(e.tombs, key)
+	delete(e.tombs[n], b)
 	for _, c := range fanout {
 		a.left++
-		m.Ctr.Invalidations++
+		m.CtrAt(n).Invalidations++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgInv, Src: n, Dst: c, Block: msg.Block,
 			Requester: msg.Requester, AckTo: n, Aux: coherent.NoNode,
 		})
 	}
-	e.maybeFinishAgg(m, key, a)
+	e.maybeFinishAgg(m, aggKey{n: n, b: b}, a)
 }
 
 func (e *Engine) onCacheAck(m *coherent.Machine, n coherent.NodeID, msg *coherent.Msg) {
-	m.Ctr.InvAcks++
-	key := aggKey{n, msg.Block}
-	a := e.aggs[key]
+	m.CtrAt(n).InvAcks++
+	a := e.aggs[n][msg.Block]
 	if a == nil {
 		a = &agg{}
-		e.aggs[key] = a
+		e.aggs[n][msg.Block] = a
 	}
 	a.left--
-	e.maybeFinishAgg(m, key, a)
+	e.maybeFinishAgg(m, aggKey{n: n, b: msg.Block}, a)
 }
 
 func (e *Engine) maybeFinishAgg(m *coherent.Machine, key aggKey, a *agg) {
 	if !a.armed || a.left != 0 {
 		return
 	}
-	delete(e.aggs, key)
+	delete(e.aggs[key.n], key.b)
 	m.Send(&coherent.Msg{
 		Type: coherent.MsgInvAck, Src: key.n, Dst: a.to, Block: key.b,
 		Requester: a.req, ToDir: a.toDir, Aux: coherent.NoNode, AckTo: coherent.NoNode,
@@ -499,11 +537,14 @@ func liveChildren(ln *cache.Line) []coherent.NodeID {
 	return out
 }
 
-func (e *Engine) mergeTombs(key aggKey, children []coherent.NodeID) {
+// mergeTombs unions children into node n's victim buffer for block b;
+// pointers from different cache tenures may both have teardowns in
+// flight.
+func (e *Engine) mergeTombs(n coherent.NodeID, b coherent.BlockID, children []coherent.NodeID) {
 	if len(children) == 0 {
 		return
 	}
-	cur := e.tombs[key]
+	cur := e.tombs[n][b]
 	for _, c := range children {
 		dup := false
 		for _, t := range cur {
@@ -516,12 +557,12 @@ func (e *Engine) mergeTombs(key aggKey, children []coherent.NodeID) {
 			cur = append(cur, c)
 		}
 	}
-	e.tombs[key] = cur
+	e.tombs[n][b] = cur
 }
 
 func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b coherent.BlockID, children []coherent.NodeID) {
 	for _, c := range children {
-		m.Ctr.ReplaceInvs++
+		m.CtrAt(n).ReplaceInvs++
 		m.Send(&coherent.Msg{
 			Type: coherent.MsgReplaceInv, Src: n, Dst: c, Block: b,
 			Aux: coherent.NoNode, AckTo: coherent.NoNode,
@@ -534,9 +575,9 @@ func (e *Engine) sendReplaceInv(m *coherent.Machine, n coherent.NodeID, b cohere
 func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line) {
 	switch ln.State {
 	case cache.Valid:
-		e.torn[ln.Block] = true
+		e.torn[n][ln.Block] = true
 		children := liveChildren(ln)
-		e.mergeTombs(aggKey{n, ln.Block}, children)
+		e.mergeTombs(n, ln.Block, children)
 		e.sendReplaceInv(m, n, ln.Block, children)
 	case cache.Exclusive:
 		m.Send(&coherent.Msg{
@@ -548,7 +589,10 @@ func (e *Engine) OnEvict(m *coherent.Machine, n coherent.NodeID, ln *cache.Line)
 
 // DescribeBlock implements coherent.BlockDumper for stall diagnostics.
 func (e *Engine) DescribeBlock(b coherent.BlockID) string {
-	en := e.entries[b]
+	var en *entry
+	if e.m != nil {
+		en, _ = e.m.Dir(b).(*entry)
+	}
 	if en == nil {
 		return "uncached (no entry)"
 	}

@@ -19,13 +19,11 @@ func (meta *stpMeta) String() string {
 // CanonState implements coherent.ProtocolState: directory entries,
 // in-progress ack aggregations, and victim-buffer tombstones.
 func (e *Engine) CanonState(w io.Writer) {
-	blocks := make([]coherent.BlockID, 0, len(e.entries))
-	for b := range e.entries {
-		blocks = append(blocks, b)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	for _, b := range blocks {
-		en := e.entries[b]
+	for _, b := range e.m.DirBlocks() {
+		en, _ := e.m.Dir(b).(*entry)
+		if en == nil {
+			continue
+		}
 		if en.state == uncached && en.root == coherent.NoNode && en.owner == coherent.NoNode && en.pend == nil {
 			continue
 		}
@@ -36,17 +34,17 @@ func (e *Engine) CanonState(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	for _, k := range sortedAggKeys(e.aggs) {
-		a := e.aggs[k]
+		a := e.aggs[k.n][k.b]
 		fmt.Fprintf(w, "agg n%d b%d armed%v left%d to%d dir%v\n", k.n, k.b, a.armed, a.left, a.to, a.toDir)
 	}
 	for _, k := range sortedTombKeys(e.tombs) {
-		fmt.Fprintf(w, "tomb n%d b%d -> %v\n", k.n, k.b, e.tombs[k])
+		fmt.Fprintf(w, "tomb n%d b%d -> %v\n", k.n, k.b, e.tombs[k.n][k.b])
 	}
 }
 
 // CoverageRoots implements coherent.CoverageEnumerator.
 func (e *Engine) CoverageRoots(m *coherent.Machine, b coherent.BlockID) []coherent.NodeID {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}
@@ -68,7 +66,7 @@ func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n cohere
 	if ln := m.Nodes[n].Cache.Lookup(b); ln != nil && ln.State != cache.Invalid {
 		out = append(out, liveChildren(ln)...)
 	}
-	out = append(out, e.tombs[aggKey{n, b}]...)
+	out = append(out, e.tombs[n][b]...)
 	return out
 }
 
@@ -77,7 +75,7 @@ func (e *Engine) CoverageEdges(m *coherent.Machine, b coherent.BlockID, n cohere
 // child edges forming no cycle until the first teardown (see
 // core.CheckForestShape for why teardown relaxes acyclicity).
 func (e *Engine) CheckShape(m *coherent.Machine, b coherent.BlockID) error {
-	en := e.entries[b]
+	en, _ := m.Dir(b).(*entry)
 	if en == nil {
 		return nil
 	}
@@ -85,7 +83,16 @@ func (e *Engine) CheckShape(m *coherent.Machine, b coherent.BlockID) error {
 	if en.root != coherent.NoNode {
 		roots = append(roots, en.root)
 	}
-	return core.CheckForestShape(roots, 1, 2, !e.torn[b], func(n coherent.NodeID) []coherent.NodeID {
+	// torn is per-node ghost state written on the tearing node's lane;
+	// this quiesced check reads the union.
+	torn := false
+	for _, tm := range e.torn {
+		if tm[b] {
+			torn = true
+			break
+		}
+	}
+	return core.CheckForestShape(roots, 1, 2, !torn, func(n coherent.NodeID) []coherent.NodeID {
 		ln := m.Nodes[n].Cache.Lookup(b)
 		if ln == nil || ln.State == cache.Invalid {
 			return nil
@@ -94,19 +101,23 @@ func (e *Engine) CheckShape(m *coherent.Machine, b coherent.BlockID) error {
 	})
 }
 
-func sortedAggKeys(m map[aggKey]*agg) []aggKey {
-	out := make([]aggKey, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+func sortedAggKeys(perNode []map[coherent.BlockID]*agg) []aggKey {
+	var out []aggKey
+	for n, mm := range perNode {
+		for b := range mm {
+			out = append(out, aggKey{n: coherent.NodeID(n), b: b})
+		}
 	}
 	sortKeys(out)
 	return out
 }
 
-func sortedTombKeys(m map[aggKey][]coherent.NodeID) []aggKey {
-	out := make([]aggKey, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+func sortedTombKeys(perNode []map[coherent.BlockID][]coherent.NodeID) []aggKey {
+	var out []aggKey
+	for n, mm := range perNode {
+		for b := range mm {
+			out = append(out, aggKey{n: coherent.NodeID(n), b: b})
+		}
 	}
 	sortKeys(out)
 	return out

@@ -19,11 +19,11 @@ import (
 // + rebind + other covers the wall).
 
 // kprofGoldenGrid is the fft/P=8 slice of the golden grid — every
-// scheme class, including the shard-unsafe ones that fall back — with
-// a kernel profile attached to each experiment.
+// scheme class, all shard-safe since the chain-surgery restructure —
+// with a kernel profile attached to each experiment.
 func kprofGoldenGrid(shards int) []Experiment {
 	var exps []Experiment
-	for _, scheme := range []string{"fm", "l4", "b4", "ll4", "T4", "stp", "sci"} {
+	for _, scheme := range []string{"fm", "l4", "b4", "ll4", "T4", "stp", "sci", "sll"} {
 		exps = append(exps, Experiment{
 			App: "fft", Protocol: scheme, Procs: 8, Shards: shards,
 			KProf: &kprof.Profile{},
@@ -55,8 +55,8 @@ func kprofGoldenSubset(t *testing.T) string {
 // TestShardedKProfZeroPerturbation pins the zero-perturbation contract
 // end to end: with a kernel profile attached to every experiment, the
 // sweep CSV must stay byte-identical to the golden fixture at S ∈
-// {1, 2, 4, 8} — including the grid points that fall back to the
-// sequential kernel, where the profile must stay inert.
+// {1, 2, 4, 8} — and at S=1 (sequential-requested) the profile must
+// stay inert.
 func TestShardedKProfZeroPerturbation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("28-experiment grid; skipped in -short")
@@ -259,8 +259,12 @@ func TestShardedSamplerGaugeFoldIdentity(t *testing.T) {
 // return a plan whose reason token and description are non-empty, with
 // Fallback() true exactly when the effective count dropped to 1.
 // Trace and attribution runs are eligible ("ok") since the lane-buffer
-// emission merge landed; only checked runs, memory-resident locks, and
-// non-shard-safe engines still force the sequential kernel.
+// emission merge landed, and every registered engine family — the
+// chain and tree engines included, since the deferred-splice
+// restructure — reports "ok"; only checked runs and memory-resident
+// locks still force the sequential kernel. (The engine-not-shard-safe
+// reason remains for engines that do not declare coherent.ShardSafe;
+// no registered engine exercises it anymore.)
 func TestExplainShardsMixedGrid(t *testing.T) {
 	cases := []struct {
 		name string
@@ -274,8 +278,13 @@ func TestExplainShardsMixedGrid(t *testing.T) {
 		{"trace", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{Trace: true}}, "ok"},
 		{"attrib", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{Attrib: true}}, "ok"},
 		{"sampler-ok", Experiment{App: "fft", Protocol: "fm", Procs: 8, Shards: 4, Obs: &ObsConfig{SampleEvery: 5000, StallCycles: 1 << 40}}, "ok"},
-		{"unsafe-engine", Experiment{App: "fft", Protocol: "sci", Procs: 8, Shards: 4}, "engine-not-shard-safe"},
-		{"unsafe-tree", Experiment{App: "fft", Protocol: "T4", Procs: 8, Shards: 4}, "engine-not-shard-safe"},
+		{"safe-l4", Experiment{App: "fft", Protocol: "l4", Procs: 8, Shards: 4}, "ok"},
+		{"safe-b4", Experiment{App: "fft", Protocol: "b4", Procs: 8, Shards: 4}, "ok"},
+		{"safe-ll4", Experiment{App: "fft", Protocol: "ll4", Procs: 8, Shards: 4}, "ok"},
+		{"safe-tree", Experiment{App: "fft", Protocol: "T4", Procs: 8, Shards: 4}, "ok"},
+		{"safe-stp", Experiment{App: "fft", Protocol: "stp", Procs: 8, Shards: 4}, "ok"},
+		{"safe-sci", Experiment{App: "fft", Protocol: "sci", Procs: 8, Shards: 4}, "ok"},
+		{"safe-sll", Experiment{App: "fft", Protocol: "sll", Procs: 8, Shards: 4}, "ok"},
 	}
 	for _, tc := range cases {
 		plan, err := ExplainShards(tc.exp)

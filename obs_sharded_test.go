@@ -41,11 +41,13 @@ func shardedObsArtifacts(t *testing.T, scheme string, shards int) (chrome, jsonl
 	return cb.Bytes(), jb.Bytes(), aj
 }
 
-// TestShardedTraceAttribByteIdentity is the PR 9 acceptance gate: with
-// event-stream observability attached, the sharded kernel's exported
-// Chrome trace, raw event stream, and attribution fold must be
-// byte-identical to the sequential run at every shard count — the same
-// guarantee already pinned for the sweep CSV and the kprof CSV. This
+// TestShardedTraceAttribByteIdentity: with event-stream observability
+// attached, the sharded kernel's exported Chrome trace, raw event
+// stream, and attribution fold must be byte-identical to the
+// sequential run at every shard count — the same guarantee already
+// pinned for the sweep CSV and the kprof CSV. All eight engine
+// families are covered, including the chain/tree schemes whose
+// splice and teardown work rides the deferred-op façade. This
 // holds because Phase-P emissions are buffered per lane and finalized
 // (ID/wave assignment, sink fan-out) in the kernel's global (at, seq)
 // merge order, which equals the sequential firing order.
@@ -54,7 +56,7 @@ func TestShardedTraceAttribByteIdentity(t *testing.T) {
 	if raceEnabled {
 		shardCounts = []int{2, 8}
 	}
-	for _, scheme := range []string{"fm", "l4", "b4", "ll4"} {
+	for _, scheme := range []string{"fm", "l4", "b4", "ll4", "T4", "stp", "sci", "sll"} {
 		seqChrome, seqJSONL, seqAttrib := shardedObsArtifacts(t, scheme, 0)
 		for _, s := range shardCounts {
 			chrome, jsonl, attrib := shardedObsArtifacts(t, scheme, s)

@@ -10,10 +10,12 @@ import (
 // The sharded-determinism regressions pin the tentpole guarantee of
 // the time-windowed parallel kernel: the sweep CSV — cycles, every
 // counter, the normalized column — is byte-identical at every shard
-// count, and byte-identical to the pre-PR sequential engine (the
-// committed golden fixture). The grid deliberately mixes shard-safe
-// schemes (fm, l4, b4, ll4) with ones that fall back to the sequential
-// kernel (T4, stp, sci), so the eligibility path is exercised too.
+// count, and byte-identical to the sequential engine (the committed
+// golden fixture). Since the chain/tree restructure every engine
+// family is shard-safe — the grid covers the pointer schemes (fm, l4,
+// b4, ll4), the tree (T4, via deferred subtree teardown), and the
+// chain schemes (stp, sci, sll, via deferred splice/teardown hops) —
+// so nothing here falls back to the sequential kernel.
 
 // goldenGrid returns the experiment grid of testdata/sweep_golden.csv
 // in fixture row order, with every experiment requesting the given
@@ -22,7 +24,7 @@ func goldenGrid(shards int) []Experiment {
 	var exps []Experiment
 	for _, app := range []string{"mp3d", "fft"} {
 		for _, procs := range []int{8, 16} {
-			for _, scheme := range []string{"fm", "l4", "b4", "ll4", "T4", "stp", "sci"} {
+			for _, scheme := range []string{"fm", "l4", "b4", "ll4", "T4", "stp", "sci", "sll"} {
 				exps = append(exps, Experiment{
 					App: app, Protocol: scheme, Procs: procs, Shards: shards,
 				})
